@@ -1,0 +1,407 @@
+//! `Adj` — the recording scalar for reverse-mode AD.
+//!
+//! An `Adj` is either *tracked* (it owns a node on the active tape) or a
+//! *constant* (derived purely from literals). Operations between constants
+//! fold and record nothing; this is what keeps data-independent work — the
+//! EP benchmark's 2^24-sample random stream, FFT twiddle factors, grid
+//! metric terms — off the tape, making whole-program recording of the NPB
+//! kernels feasible in memory.
+
+use crate::tape::{self, NONE};
+
+/// Reverse-mode scalar: a value plus (optionally) a node on the active tape.
+#[derive(Copy, Clone, Debug)]
+pub struct Adj {
+    idx: u32,
+    v: f64,
+}
+
+impl Adj {
+    /// A constant: participates in arithmetic but records nothing and has
+    /// zero derivative.
+    #[inline]
+    pub fn constant(v: f64) -> Self {
+        Adj { idx: NONE, v }
+    }
+
+    /// Register a new *input* (leaf) node holding `v` on the active tape.
+    ///
+    /// Checkpointed elements are converted to leaves at the checkpoint
+    /// boundary; the reverse sweep reports `∂output/∂leaf` for each.
+    ///
+    /// Panics when no [`crate::TapeSession`] is active.
+    #[inline]
+    pub fn leaf(v: f64) -> Self {
+        Adj { idx: tape::record_leaf(), v }
+    }
+
+    /// The primal value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.v
+    }
+
+    /// The tape node index, or `None` for constants.
+    #[inline]
+    pub fn index(self) -> Option<u32> {
+        (self.idx != NONE).then_some(self.idx)
+    }
+
+    /// True when this value is recorded on the tape.
+    #[inline]
+    pub fn is_tracked(self) -> bool {
+        self.idx != NONE
+    }
+
+    /// Record a unary operation `f(self)` with local partial `d`.
+    #[inline]
+    fn unary(self, v: f64, d: f64) -> Adj {
+        if self.idx == NONE {
+            return Adj::constant(v);
+        }
+        Adj { idx: tape::record_node(self.idx, d, NONE, 0.0), v }
+    }
+
+    /// Record a binary operation `f(self, rhs)` with local partials `da, db`.
+    #[inline]
+    fn binary(self, rhs: Adj, v: f64, da: f64, db: f64) -> Adj {
+        if self.idx == NONE && rhs.idx == NONE {
+            return Adj::constant(v);
+        }
+        Adj { idx: tape::record_node(self.idx, da, rhs.idx, db), v }
+    }
+
+    // ---- elementary functions -------------------------------------------
+
+    /// Square root; `d/dx √x = 1/(2√x)`.
+    #[inline]
+    pub fn sqrt(self) -> Adj {
+        let r = self.v.sqrt();
+        self.unary(r, 0.5 / r)
+    }
+
+    /// Natural exponential.
+    #[inline]
+    pub fn exp(self) -> Adj {
+        let e = self.v.exp();
+        self.unary(e, e)
+    }
+
+    /// Natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Adj {
+        self.unary(self.v.ln(), 1.0 / self.v)
+    }
+
+    /// Sine.
+    #[inline]
+    pub fn sin(self) -> Adj {
+        self.unary(self.v.sin(), self.v.cos())
+    }
+
+    /// Cosine.
+    #[inline]
+    pub fn cos(self) -> Adj {
+        self.unary(self.v.cos(), -self.v.sin())
+    }
+
+    /// Integer power; `d/dx x^n = n·x^(n-1)`.
+    #[inline]
+    pub fn powi(self, n: i32) -> Adj {
+        self.unary(self.v.powi(n), f64::from(n) * self.v.powi(n - 1))
+    }
+
+    /// Real power with a constant exponent.
+    #[inline]
+    pub fn powf(self, p: f64) -> Adj {
+        self.unary(self.v.powf(p), p * self.v.powf(p - 1.0))
+    }
+
+    /// Reciprocal; `d/dx 1/x = -1/x²`.
+    #[inline]
+    pub fn recip(self) -> Adj {
+        let r = 1.0 / self.v;
+        self.unary(r, -r * r)
+    }
+
+    /// Absolute value with the a.e. derivative `sign(x)` (0 at the kink).
+    #[inline]
+    pub fn abs(self) -> Adj {
+        let d = if self.v > 0.0 {
+            1.0
+        } else if self.v < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        self.unary(self.v.abs(), d)
+    }
+
+    /// Maximum; the subgradient follows the winning branch (ties go left,
+    /// matching the executed-path semantics Enzyme would differentiate).
+    #[inline]
+    pub fn max(self, rhs: Adj) -> Adj {
+        if self.v >= rhs.v {
+            self.binary(rhs, self.v, 1.0, 0.0)
+        } else {
+            self.binary(rhs, rhs.v, 0.0, 1.0)
+        }
+    }
+
+    /// Minimum; subgradient follows the winning branch (ties go left).
+    #[inline]
+    pub fn min(self, rhs: Adj) -> Adj {
+        if self.v <= rhs.v {
+            self.binary(rhs, self.v, 1.0, 0.0)
+        } else {
+            self.binary(rhs, rhs.v, 0.0, 1.0)
+        }
+    }
+}
+
+// ---- operator overloads (Adj ∘ Adj, Adj ∘ f64, f64 ∘ Adj) ---------------
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+impl Add for Adj {
+    type Output = Adj;
+    #[inline]
+    fn add(self, rhs: Adj) -> Adj {
+        self.binary(rhs, self.v + rhs.v, 1.0, 1.0)
+    }
+}
+
+impl Sub for Adj {
+    type Output = Adj;
+    #[inline]
+    fn sub(self, rhs: Adj) -> Adj {
+        self.binary(rhs, self.v - rhs.v, 1.0, -1.0)
+    }
+}
+
+impl Mul for Adj {
+    type Output = Adj;
+    #[inline]
+    fn mul(self, rhs: Adj) -> Adj {
+        self.binary(rhs, self.v * rhs.v, rhs.v, self.v)
+    }
+}
+
+impl Div for Adj {
+    type Output = Adj;
+    #[inline]
+    fn div(self, rhs: Adj) -> Adj {
+        let inv = 1.0 / rhs.v;
+        self.binary(rhs, self.v * inv, inv, -self.v * inv * inv)
+    }
+}
+
+impl Neg for Adj {
+    type Output = Adj;
+    #[inline]
+    fn neg(self) -> Adj {
+        self.unary(-self.v, -1.0)
+    }
+}
+
+macro_rules! scalar_rhs {
+    ($trait:ident, $m:ident) => {
+        impl $trait<f64> for Adj {
+            type Output = Adj;
+            #[inline]
+            fn $m(self, rhs: f64) -> Adj {
+                self.$m(Adj::constant(rhs))
+            }
+        }
+        impl $trait<Adj> for f64 {
+            type Output = Adj;
+            #[inline]
+            fn $m(self, rhs: Adj) -> Adj {
+                Adj::constant(self).$m(rhs)
+            }
+        }
+    };
+}
+scalar_rhs!(Add, add);
+scalar_rhs!(Sub, sub);
+scalar_rhs!(Mul, mul);
+scalar_rhs!(Div, div);
+
+macro_rules! assign_op {
+    ($trait:ident, $m:ident, $op:ident) => {
+        impl $trait for Adj {
+            #[inline]
+            fn $m(&mut self, rhs: Adj) {
+                *self = (*self).$op(rhs);
+            }
+        }
+        impl $trait<f64> for Adj {
+            #[inline]
+            fn $m(&mut self, rhs: f64) {
+                *self = (*self).$op(rhs);
+            }
+        }
+    };
+}
+assign_op!(AddAssign, add_assign, add);
+assign_op!(SubAssign, sub_assign, sub);
+assign_op!(MulAssign, mul_assign, mul);
+assign_op!(DivAssign, div_assign, div);
+
+// Comparisons act on primal values: control flow is "frozen" along the
+// executed path, the standard operator-overloading AD semantics (Enzyme
+// differentiates the executed path too).
+impl PartialEq for Adj {
+    #[inline]
+    fn eq(&self, other: &Adj) -> bool {
+        self.v == other.v
+    }
+}
+
+impl PartialOrd for Adj {
+    #[inline]
+    fn partial_cmp(&self, other: &Adj) -> Option<std::cmp::Ordering> {
+        self.v.partial_cmp(&other.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TapeSession;
+
+    fn grad1(f: impl FnOnce(Adj) -> Adj, x: f64) -> (f64, f64) {
+        let s = TapeSession::new();
+        let xa = Adj::leaf(x);
+        let y = f(xa);
+        let tape = s.finish();
+        (y.value(), tape.gradient(y).wrt(xa))
+    }
+
+    fn fd1(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6 * x.abs().max(1.0);
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let (v, d) = grad1(|x| (x + 2.0) * (x - 3.0) / (x * 0.5), 4.0);
+        let f = |x: f64| (x + 2.0) * (x - 3.0) / (x * 0.5);
+        assert!((v - f(4.0)).abs() < 1e-12);
+        assert!((d - fd1(f, 4.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn transcendental_functions() {
+        for (i, f_adj) in [
+            (0, (|x: Adj| x.sqrt()) as fn(Adj) -> Adj),
+            (1, |x: Adj| x.exp()),
+            (2, |x: Adj| x.ln()),
+            (3, |x: Adj| x.sin()),
+            (4, |x: Adj| x.cos()),
+            (5, |x: Adj| x.powi(3)),
+            (6, |x: Adj| x.powf(1.7)),
+            (7, |x: Adj| x.recip()),
+            (8, |x: Adj| x.abs()),
+        ] {
+            let f64_f = move |x: f64| match i {
+                0 => x.sqrt(),
+                1 => x.exp(),
+                2 => x.ln(),
+                3 => x.sin(),
+                4 => x.cos(),
+                5 => x.powi(3),
+                6 => x.powf(1.7),
+                7 => x.recip(),
+                _ => x.abs(),
+            };
+            let x0 = 1.3;
+            let (v, d) = grad1(f_adj, x0);
+            assert!((v - f64_f(x0)).abs() < 1e-12, "value mismatch for fn {i}");
+            assert!(
+                (d - fd1(f64_f, x0)).abs() < 1e-5,
+                "derivative mismatch for fn {i}: ad={d}, fd={}",
+                fd1(f64_f, x0)
+            );
+        }
+    }
+
+    #[test]
+    fn constants_fold_without_session() {
+        // No session active: constant arithmetic must not touch the tape.
+        let a = Adj::constant(2.0);
+        let b = Adj::constant(3.0);
+        let c = (a * b + 1.0).sqrt();
+        assert!(!c.is_tracked());
+        assert!((c.value() - 7.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mixed_constant_tracked_records() {
+        let s = TapeSession::new();
+        let x = Adj::leaf(2.0);
+        let c = Adj::constant(10.0);
+        let y = x * c;
+        assert!(y.is_tracked());
+        let tape = s.finish();
+        assert_eq!(tape.gradient(y).wrt(x), 10.0);
+    }
+
+    #[test]
+    fn max_min_subgradients() {
+        let (_, d) = grad1(|x| x.max(Adj::constant(1.0)), 5.0);
+        assert_eq!(d, 1.0);
+        let (_, d) = grad1(|x| x.max(Adj::constant(10.0)), 5.0);
+        assert_eq!(d, 0.0);
+        let (_, d) = grad1(|x| x.min(Adj::constant(1.0)), 5.0);
+        assert_eq!(d, 0.0);
+        let (_, d) = grad1(|x| x.min(Adj::constant(10.0)), 5.0);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = x*x + x*x: adjoint contributions from both uses must sum.
+        let (_, d) = grad1(|x| x * x + x * x, 3.0);
+        assert_eq!(d, 12.0);
+    }
+
+    #[test]
+    fn assign_ops_match_plain_ops() {
+        let s = TapeSession::new();
+        let x = Adj::leaf(2.0);
+        let mut acc = Adj::constant(0.0);
+        acc += x * 3.0;
+        acc -= x;
+        acc *= 2.0;
+        acc /= 4.0;
+        let tape = s.finish();
+        // acc = (3x - x) * 2 / 4 = x
+        assert_eq!(tape.gradient(acc).wrt(x), 1.0);
+        assert!((acc.value() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comparisons_use_primal_values() {
+        let a = Adj::constant(1.0);
+        let b = Adj::constant(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert!(a == Adj::constant(1.0));
+    }
+
+    #[test]
+    #[allow(unused_assignments)]
+    fn overwrite_kills_dependency() {
+        // The checkpointed value is overwritten before being read: its
+        // gradient must be zero. This is the mechanism behind "written but
+        // never read" uncritical elements in the paper.
+        let s = TapeSession::new();
+        let ckpt = Adj::leaf(7.0);
+        let mut slot = ckpt;
+        slot = Adj::constant(1.0); // overwrite before any read
+        let out = slot * 2.0;
+        let tape = s.finish();
+        assert_eq!(tape.gradient(out).wrt(ckpt), 0.0);
+    }
+}

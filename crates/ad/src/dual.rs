@@ -1,0 +1,267 @@
+//! Forward-mode AD with dual numbers.
+//!
+//! `Dual` carries a value and a single directional derivative. It is the
+//! independent oracle used by the test suite to validate the reverse-mode
+//! tape (forward and reverse must agree to machine precision on the same
+//! program), and it is also useful on its own when only a few input
+//! directions matter.
+
+/// A dual number `v + d·ε` with `ε² = 0`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Dual {
+    /// Primal value.
+    pub v: f64,
+    /// Derivative (tangent) component.
+    pub d: f64,
+}
+
+impl Dual {
+    /// A constant (zero tangent).
+    #[inline]
+    pub fn constant(v: f64) -> Self {
+        Dual { v, d: 0.0 }
+    }
+
+    /// The seeded input variable: `d/dx x = 1`.
+    #[inline]
+    pub fn variable(v: f64) -> Self {
+        Dual { v, d: 1.0 }
+    }
+
+    /// Primal value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.v
+    }
+
+    /// Tangent (derivative along the seeded direction).
+    #[inline]
+    pub fn tangent(self) -> f64 {
+        self.d
+    }
+
+    /// Square root.
+    #[inline]
+    pub fn sqrt(self) -> Dual {
+        let r = self.v.sqrt();
+        Dual { v: r, d: self.d * 0.5 / r }
+    }
+
+    /// Natural exponential.
+    #[inline]
+    pub fn exp(self) -> Dual {
+        let e = self.v.exp();
+        Dual { v: e, d: self.d * e }
+    }
+
+    /// Natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Dual {
+        Dual { v: self.v.ln(), d: self.d / self.v }
+    }
+
+    /// Sine.
+    #[inline]
+    pub fn sin(self) -> Dual {
+        Dual { v: self.v.sin(), d: self.d * self.v.cos() }
+    }
+
+    /// Cosine.
+    #[inline]
+    pub fn cos(self) -> Dual {
+        Dual { v: self.v.cos(), d: -self.d * self.v.sin() }
+    }
+
+    /// Integer power.
+    #[inline]
+    pub fn powi(self, n: i32) -> Dual {
+        Dual {
+            v: self.v.powi(n),
+            d: self.d * f64::from(n) * self.v.powi(n - 1),
+        }
+    }
+
+    /// Real power with a constant exponent.
+    #[inline]
+    pub fn powf(self, p: f64) -> Dual {
+        Dual {
+            v: self.v.powf(p),
+            d: self.d * p * self.v.powf(p - 1.0),
+        }
+    }
+
+    /// Reciprocal.
+    #[inline]
+    pub fn recip(self) -> Dual {
+        let inv = 1.0 / self.v;
+        Dual { v: inv, d: -self.d * inv * inv }
+    }
+
+    /// Absolute value (a.e. derivative).
+    #[inline]
+    pub fn abs(self) -> Dual {
+        if self.v >= 0.0 {
+            self
+        } else {
+            -self
+        }
+    }
+
+    /// Maximum, branch semantics matching [`crate::Adj::max`].
+    #[inline]
+    pub fn max(self, rhs: Dual) -> Dual {
+        if self.v >= rhs.v {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Minimum, branch semantics matching [`crate::Adj::min`].
+    #[inline]
+    pub fn min(self, rhs: Dual) -> Dual {
+        if self.v <= rhs.v {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+impl Add for Dual {
+    type Output = Dual;
+    #[inline]
+    fn add(self, rhs: Dual) -> Dual {
+        Dual { v: self.v + rhs.v, d: self.d + rhs.d }
+    }
+}
+
+impl Sub for Dual {
+    type Output = Dual;
+    #[inline]
+    fn sub(self, rhs: Dual) -> Dual {
+        Dual { v: self.v - rhs.v, d: self.d - rhs.d }
+    }
+}
+
+impl Mul for Dual {
+    type Output = Dual;
+    #[inline]
+    fn mul(self, rhs: Dual) -> Dual {
+        Dual {
+            v: self.v * rhs.v,
+            d: self.d * rhs.v + self.v * rhs.d,
+        }
+    }
+}
+
+impl Div for Dual {
+    type Output = Dual;
+    #[inline]
+    fn div(self, rhs: Dual) -> Dual {
+        let inv = 1.0 / rhs.v;
+        Dual {
+            v: self.v * inv,
+            d: (self.d - self.v * inv * rhs.d) * inv,
+        }
+    }
+}
+
+impl Neg for Dual {
+    type Output = Dual;
+    #[inline]
+    fn neg(self) -> Dual {
+        Dual { v: -self.v, d: -self.d }
+    }
+}
+
+macro_rules! scalar_rhs {
+    ($trait:ident, $m:ident) => {
+        impl $trait<f64> for Dual {
+            type Output = Dual;
+            #[inline]
+            fn $m(self, rhs: f64) -> Dual {
+                self.$m(Dual::constant(rhs))
+            }
+        }
+        impl $trait<Dual> for f64 {
+            type Output = Dual;
+            #[inline]
+            fn $m(self, rhs: Dual) -> Dual {
+                Dual::constant(self).$m(rhs)
+            }
+        }
+    };
+}
+scalar_rhs!(Add, add);
+scalar_rhs!(Sub, sub);
+scalar_rhs!(Mul, mul);
+scalar_rhs!(Div, div);
+
+macro_rules! assign_op {
+    ($trait:ident, $m:ident, $op:ident) => {
+        impl $trait for Dual {
+            #[inline]
+            fn $m(&mut self, rhs: Dual) {
+                *self = (*self).$op(rhs);
+            }
+        }
+        impl $trait<f64> for Dual {
+            #[inline]
+            fn $m(&mut self, rhs: f64) {
+                *self = (*self).$op(rhs);
+            }
+        }
+    };
+}
+assign_op!(AddAssign, add_assign, add);
+assign_op!(SubAssign, sub_assign, sub);
+assign_op!(MulAssign, mul_assign, mul);
+assign_op!(DivAssign, div_assign, div);
+
+impl PartialOrd for Dual {
+    #[inline]
+    fn partial_cmp(&self, other: &Dual) -> Option<std::cmp::Ordering> {
+        self.v.partial_cmp(&other.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_rule() {
+        let x = Dual::variable(3.0);
+        let y = x * x * x;
+        assert!((y.v - 27.0).abs() < 1e-15);
+        assert!((y.d - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        let x = Dual::variable(2.0);
+        let y = (x * x + 1.0) / x; // y = x + 1/x, y' = 1 - 1/x^2
+        assert!((y.d - (1.0 - 0.25)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn chain_of_transcendentals() {
+        let x = Dual::variable(0.7);
+        let y = (x.sin() * x.exp()).ln().sqrt();
+        // Compare against central finite differences.
+        let f = |x: f64| (x.sin() * x.exp()).ln().sqrt();
+        let h = 1e-7;
+        let fd = (f(0.7 + h) - f(0.7 - h)) / (2.0 * h);
+        assert!((y.d - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constants_have_zero_tangent() {
+        let x = Dual::variable(1.0);
+        let c = Dual::constant(5.0);
+        assert_eq!((x * 0.0 + c).d, 0.0);
+    }
+}

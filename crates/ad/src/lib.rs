@@ -1,0 +1,75 @@
+//! # scrutiny-ad — tape-based reverse-mode automatic differentiation
+//!
+//! This crate is the AD substrate of the `scrutiny` project, a reproduction
+//! of *"Scrutinizing Variables for Checkpoint Using Automatic
+//! Differentiation"* (SC 2024). The paper uses Enzyme (LLVM) to compute the
+//! derivative of a program's output with respect to every element of every
+//! checkpointed variable; elements with zero derivative are *uncritical* and
+//! can be dropped from checkpoints. No mature Rust AD tool exists, so this
+//! crate implements the required machinery from scratch:
+//!
+//! * [`Tape`] — a structure-of-arrays Wengert list. Each node stores its two
+//!   parent indices and the local partial derivatives, computed at record
+//!   time (24 bytes/node). A single reverse sweep ([`Tape::gradient`])
+//!   yields the derivative of the output with respect to *every* recorded
+//!   value — exactly the all-elements sensitivity the paper needs.
+//! * [`Adj`] — the recording scalar. Arithmetic on `Adj` values appends
+//!   nodes to the active thread-local tape. Values derived purely from
+//!   literals fold to constants and record nothing, which keeps
+//!   data-independent computation (random streams, FFT twiddle factors,
+//!   loop bookkeeping) off the tape.
+//! * [`Dual`] — forward-mode dual numbers, used to cross-check the reverse
+//!   sweep in tests (and usable on its own for single-direction derivatives).
+//! * [`Real`] — the scalar abstraction implemented by `f64`, `Adj` and
+//!   [`Dual`]; the NPB kernels are written once, generically, against it.
+//! * [`Cplx`] — a complex number over any [`Real`], needed by the FT
+//!   benchmark (`dcomplex` in NPB).
+//! * [`Tape::reachable`] — *structural* activity analysis on the same tape:
+//!   an element is structurally critical if any data-flow path connects it
+//!   to the output, even if the derivative value cancels to zero. This is
+//!   the cheaper comparator used by the ablation experiments.
+//!
+//! ## Example: the paper's Figure 1 workflow
+//!
+//! ```
+//! use scrutiny_ad::{Adj, TapeSession};
+//!
+//! let session = TapeSession::new();
+//! let x = Adj::leaf(2.0);
+//! let u = x * x;        // u(x) = x^2
+//! let v = (x + 1.0).ln(); // v(x) = ln(x + 1)
+//! let f = u * 3.0 + v;  // f(u, v) = 3u + v
+//! let tape = session.finish();
+//! let grads = tape.gradient(f);
+//! let df_dx = grads.wrt(x);
+//! assert!((df_dx - (6.0 * 2.0 + 1.0 / 3.0)).abs() < 1e-12);
+//! ```
+
+pub mod adj;
+pub mod cplx;
+pub mod dual;
+pub mod real;
+pub mod tape;
+
+pub use adj::Adj;
+pub use cplx::Cplx;
+pub use dual::Dual;
+pub use real::Real;
+pub use tape::{Gradient, Tape, TapeSession, TapeStats};
+
+/// Convenience: run `f` while a fresh tape records, then return the result
+/// together with the finished tape.
+///
+/// ```
+/// use scrutiny_ad::{record, Adj};
+/// let (y, tape) = record(16, || {
+///     let x = Adj::leaf(3.0);
+///     x * x
+/// });
+/// assert_eq!(tape.gradient(y).of_node(y.index().unwrap()), 1.0);
+/// ```
+pub fn record<T>(capacity: usize, f: impl FnOnce() -> T) -> (T, Tape) {
+    let session = TapeSession::with_capacity(capacity);
+    let out = f();
+    (out, session.finish())
+}

@@ -1,0 +1,390 @@
+//! The Wengert list (tape) and its reverse sweeps.
+//!
+//! The tape is a flat, append-only record of every tracked arithmetic
+//! operation executed by the program between the checkpoint boundary and
+//! the output. Checkpointed elements enter as *leaves*; the reverse sweep
+//! then computes `∂output/∂leaf` for all leaves at once — the quantity the
+//! paper uses to classify elements as critical (non-zero) or uncritical
+//! (zero).
+
+use std::cell::RefCell;
+
+/// Sentinel parent index meaning "no parent" (constant operand or leaf).
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// A recorded computation graph in structure-of-arrays layout.
+///
+/// Node `i` has up to two parents `p1[i], p2[i]` with local partial
+/// derivatives `d1[i], d2[i]` (computed when the node was recorded).
+/// Leaves have no parents. 24 bytes per node; values are *not* stored
+/// because the reverse sweep only needs partials.
+#[derive(Default)]
+pub struct Tape {
+    p1: Vec<u32>,
+    p2: Vec<u32>,
+    d1: Vec<f64>,
+    d2: Vec<f64>,
+    leaves: usize,
+}
+
+impl Tape {
+    /// Create an empty tape with space reserved for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tape {
+            p1: Vec::with_capacity(capacity),
+            p2: Vec::with_capacity(capacity),
+            d1: Vec::with_capacity(capacity),
+            d2: Vec::with_capacity(capacity),
+            leaves: 0,
+        }
+    }
+
+    /// Number of recorded nodes (leaves included).
+    pub fn len(&self) -> usize {
+        self.p1.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.p1.is_empty()
+    }
+
+    /// Number of leaf (input) nodes registered on this tape.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves
+    }
+
+    /// Size and composition counters, for memory accounting in reports.
+    pub fn stats(&self) -> TapeStats {
+        TapeStats {
+            nodes: self.len(),
+            leaves: self.leaves,
+            bytes: self.len() * (2 * 4 + 2 * 8),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, p1: u32, d1: f64, p2: u32, d2: f64) -> u32 {
+        let idx = self.p1.len();
+        assert!(idx < NONE as usize, "tape overflow: more than 2^32-1 nodes");
+        self.p1.push(p1);
+        self.p2.push(p2);
+        self.d1.push(d1);
+        self.d2.push(d2);
+        idx as u32
+    }
+
+    #[inline]
+    pub(crate) fn push_leaf(&mut self) -> u32 {
+        self.leaves += 1;
+        self.push(NONE, 0.0, NONE, 0.0)
+    }
+
+    /// Reverse (adjoint) sweep: derivative of the node `output` with respect
+    /// to every node on the tape.
+    ///
+    /// A constant output (an [`crate::Adj`] that never touched the tape)
+    /// yields an all-zero gradient: nothing influenced it.
+    pub fn gradient(&self, output: crate::Adj) -> Gradient {
+        match output.index() {
+            Some(idx) => self.gradient_of(idx),
+            None => Gradient { adj: vec![0.0; self.len()] },
+        }
+    }
+
+    /// Reverse sweep seeded at an explicit node index.
+    pub fn gradient_of(&self, output: u32) -> Gradient {
+        let out = output as usize;
+        assert!(out < self.len(), "output node {out} not on tape (len {})", self.len());
+        let mut adj = vec![0.0f64; self.len()];
+        adj[out] = 1.0;
+        for i in (0..=out).rev() {
+            let a = adj[i];
+            if a == 0.0 {
+                continue;
+            }
+            let p1 = self.p1[i];
+            if p1 != NONE {
+                adj[p1 as usize] += a * self.d1[i];
+            }
+            let p2 = self.p2[i];
+            if p2 != NONE {
+                adj[p2 as usize] += a * self.d2[i];
+            }
+        }
+        Gradient { adj }
+    }
+
+    /// Structural activity sweep: marks every node from which a data-flow
+    /// path reaches `output`, ignoring partial-derivative *values*.
+    ///
+    /// This over-approximates [`Tape::gradient`]-based criticality: a node
+    /// whose derivative cancels to exactly zero (e.g. `x - x`, or a
+    /// multiplication by a tracked zero) is still structurally reachable.
+    /// The paper's discussion section hopes for such an "algorithmic
+    /// analysis"; the ablation benches quantify how often the two differ.
+    pub fn reachable(&self, output: crate::Adj) -> Vec<bool> {
+        match output.index() {
+            Some(idx) => self.reachable_of(idx),
+            None => vec![false; self.len()],
+        }
+    }
+
+    /// Structural sweep seeded at an explicit node index.
+    pub fn reachable_of(&self, output: u32) -> Vec<bool> {
+        let out = output as usize;
+        assert!(out < self.len(), "output node {out} not on tape (len {})", self.len());
+        let mut reach = vec![false; self.len()];
+        reach[out] = true;
+        for i in (0..=out).rev() {
+            if !reach[i] {
+                continue;
+            }
+            let p1 = self.p1[i];
+            if p1 != NONE {
+                reach[p1 as usize] = true;
+            }
+            let p2 = self.p2[i];
+            if p2 != NONE {
+                reach[p2 as usize] = true;
+            }
+        }
+        reach
+    }
+}
+
+/// Result of a reverse sweep: the adjoint of every tape node.
+pub struct Gradient {
+    adj: Vec<f64>,
+}
+
+impl Gradient {
+    /// Derivative of the output with respect to the value `x`.
+    ///
+    /// Constants have zero derivative by definition.
+    pub fn wrt(&self, x: crate::Adj) -> f64 {
+        match x.index() {
+            Some(idx) => self.adj[idx as usize],
+            None => 0.0,
+        }
+    }
+
+    /// Derivative of the output with respect to tape node `idx`.
+    pub fn of_node(&self, idx: u32) -> f64 {
+        self.adj[idx as usize]
+    }
+
+    /// Adjoints for a contiguous range of node ids (as produced when a
+    /// whole checkpointed array is turned into leaves).
+    pub fn of_range(&self, start: u32, len: usize) -> &[f64] {
+        &self.adj[start as usize..start as usize + len]
+    }
+
+    /// Total number of adjoints (== tape length).
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the sweep covered an empty tape.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+}
+
+/// Memory/size counters for a recorded tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Total nodes recorded (leaves included).
+    pub nodes: usize,
+    /// Leaf (input) nodes.
+    pub leaves: usize,
+    /// Approximate heap bytes held by the tape arrays.
+    pub bytes: usize,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Tape>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for the thread-local recording session.
+///
+/// Creating a session installs a fresh tape; all [`crate::Adj`] arithmetic
+/// on this thread records onto it until [`TapeSession::finish`] extracts
+/// the tape (or the guard is dropped, which discards the recording).
+/// Sessions do not nest: starting one while another is active panics,
+/// because silently splicing two recordings would corrupt both gradients.
+pub struct TapeSession {
+    finished: bool,
+}
+
+impl TapeSession {
+    /// Start recording on this thread with a default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// Start recording with `capacity` nodes pre-reserved. Large analyses
+    /// (NPB kernels) should reserve millions of nodes up front to avoid
+    /// reallocation stalls mid-kernel.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ACTIVE.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "a TapeSession is already active on this thread; sessions do not nest"
+            );
+            *slot = Some(Tape::with_capacity(capacity));
+        });
+        TapeSession { finished: false }
+    }
+
+    /// Stop recording and take ownership of the tape.
+    pub fn finish(mut self) -> Tape {
+        self.finished = true;
+        ACTIVE
+            .with(|slot| slot.borrow_mut().take())
+            .expect("active tape vanished while the session guard was alive")
+    }
+
+    /// Nodes recorded so far (useful for progress/capacity diagnostics).
+    pub fn recorded(&self) -> usize {
+        ACTIVE.with(|slot| slot.borrow().as_ref().map_or(0, |t| t.len()))
+    }
+}
+
+impl Default for TapeSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TapeSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.with(|slot| slot.borrow_mut().take());
+        }
+    }
+}
+
+/// True if a recording session is active on this thread.
+pub fn recording() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+#[inline]
+pub(crate) fn record_node(p1: u32, d1: f64, p2: u32, d2: f64) -> u32 {
+    ACTIVE.with(|slot| {
+        slot.borrow_mut()
+            .as_mut()
+            .expect("arithmetic on tracked Adj values requires an active TapeSession")
+            .push(p1, d1, p2, d2)
+    })
+}
+
+#[inline]
+pub(crate) fn record_leaf() -> u32 {
+    ACTIVE.with(|slot| {
+        slot.borrow_mut()
+            .as_mut()
+            .expect("Adj::leaf requires an active TapeSession")
+            .push_leaf()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Adj;
+
+    #[test]
+    fn empty_tape_stats() {
+        let t = Tape::default();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().bytes, 0);
+    }
+
+    #[test]
+    fn session_drop_discards() {
+        {
+            let _s = TapeSession::new();
+            let _x = Adj::leaf(1.0);
+        }
+        assert!(!recording());
+        // A new session can start after the old one was dropped.
+        let s = TapeSession::new();
+        assert!(recording());
+        drop(s);
+        assert!(!recording());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn nested_sessions_panic() {
+        let _a = TapeSession::new();
+        let _b = TapeSession::new();
+    }
+
+    #[test]
+    fn gradient_of_constant_output_is_zero() {
+        let s = TapeSession::new();
+        let x = Adj::leaf(5.0);
+        let c = Adj::constant(2.0) * 3.0; // never touches the tape
+        let tape = s.finish();
+        let g = tape.gradient(c);
+        assert_eq!(g.wrt(x), 0.0);
+    }
+
+    #[test]
+    fn linear_chain_gradient() {
+        let s = TapeSession::new();
+        let x = Adj::leaf(3.0);
+        let mut y = x;
+        for _ in 0..10 {
+            y = y * 2.0;
+        }
+        let tape = s.finish();
+        assert_eq!(tape.gradient(y).wrt(x), 1024.0);
+    }
+
+    #[test]
+    fn reachability_superset_of_nonzero_gradient() {
+        let s = TapeSession::new();
+        let x = Adj::leaf(3.0);
+        let y = Adj::leaf(4.0);
+        let cancel = x - x; // structurally reachable, zero derivative
+        let out = cancel * y;
+        let tape = s.finish();
+        let g = tape.gradient(out);
+        let r = tape.reachable(out);
+        assert_eq!(g.wrt(x), 0.0, "x-x cancels exactly");
+        assert!(r[x.index().unwrap() as usize], "x is structurally active");
+        // y's gradient is zero too (multiplied by a zero value) but reachable.
+        assert_eq!(g.wrt(y), 0.0);
+        assert!(r[y.index().unwrap() as usize]);
+    }
+
+    #[test]
+    fn leaf_count_tracks_leaves() {
+        let s = TapeSession::new();
+        let a = Adj::leaf(1.0);
+        let b = Adj::leaf(2.0);
+        let _ = a + b;
+        let tape = s.finish();
+        assert_eq!(tape.leaf_count(), 2);
+        assert_eq!(tape.len(), 3);
+    }
+
+    #[test]
+    fn gradient_of_range_is_contiguous() {
+        let s = TapeSession::new();
+        let leaves: Vec<Adj> = (0..4).map(|i| Adj::leaf(i as f64)).collect();
+        let sum = leaves.iter().fold(Adj::constant(0.0), |acc, &v| acc + v);
+        let out = sum * 2.0;
+        let tape = s.finish();
+        let g = tape.gradient(out);
+        let start = leaves[0].index().unwrap();
+        let grads = g.of_range(start, 4);
+        assert_eq!(grads, &[2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! A1/A2 benches: value vs structural sweep cost on one recorded tape,
+//! and tiered vs pruned serialization cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutiny_ad::TapeSession;
+use scrutiny_ckpt::writer::serialize;
+use scrutiny_core::plan::plans_for;
+use scrutiny_core::restart::capture_state;
+use scrutiny_core::{scrutinize, LeafSite, Policy, ScrutinyApp};
+use scrutiny_npb::Bt;
+
+fn bench(c: &mut Criterion) {
+    // Record one BT tape, then time the two reverse analyses on it.
+    let bt = Bt::mini();
+    let session = TapeSession::with_capacity(bt.tape_capacity_hint());
+    let mut site = LeafSite::new();
+    let out = bt.run_ad(&mut site);
+    let tape = session.finish();
+    println!("\nablation tape: {} nodes", tape.len());
+
+    let mut g = c.benchmark_group("ablation");
+    g.bench_function("value_gradient_sweep", |b| {
+        b.iter(|| tape.gradient(out.output).len())
+    });
+    g.bench_function("structural_reachability_sweep", |b| {
+        b.iter(|| tape.reachable(out.output).len())
+    });
+    g.finish();
+
+    let analysis = scrutinize(&bt);
+    let captured = capture_state(&bt);
+    let pruned = plans_for(&analysis, Policy::PrunedValue);
+    let tiered = plans_for(&analysis, Policy::Tiered { hi_threshold: 1e-3 });
+    let mut g = c.benchmark_group("tiering");
+    g.bench_function("serialize_pruned", |b| {
+        b.iter(|| serialize(&captured, &pruned).unwrap().breakdown)
+    });
+    g.bench_function("serialize_tiered", |b| {
+        b.iter(|| serialize(&captured, &tiered).unwrap().breakdown)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! A3 bench: what tape recording costs relative to a native run, and what
+//! constant folding buys (EP's random stream stays off the tape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutiny_ad::TapeSession;
+use scrutiny_core::site::NoopSite;
+use scrutiny_core::ScrutinyApp;
+use scrutiny_npb::{Bt, Ep};
+
+fn bench(c: &mut Criterion) {
+    let bt = Bt::mini();
+    let mut g = c.benchmark_group("ad_overhead");
+    g.sample_size(10);
+    g.bench_function("bt_mini_f64", |b| b.iter(|| bt.run_f64(&mut NoopSite)));
+    g.bench_function("bt_mini_record", |b| {
+        b.iter(|| {
+            let s = TapeSession::with_capacity(bt.tape_capacity_hint());
+            let out = bt.run_ad(&mut NoopSite);
+            let tape = s.finish();
+            (out.output.value(), tape.len())
+        })
+    });
+    g.bench_function("bt_mini_record_and_sweep", |b| {
+        b.iter(|| {
+            let s = TapeSession::with_capacity(bt.tape_capacity_hint());
+            let mut site = scrutiny_core::LeafSite::new();
+            let out = bt.run_ad(&mut site);
+            let tape = s.finish();
+            tape.gradient(out.output).len()
+        })
+    });
+    let ep = Ep::mini();
+    g.bench_function("ep_mini_f64", |b| b.iter(|| ep.run_f64(&mut NoopSite)));
+    g.bench_function("ep_mini_record_constfold", |b| {
+        b.iter(|| {
+            let s = TapeSession::new();
+            let out = ep.run_ad(&mut NoopSite);
+            let tape = s.finish();
+            (out.output.value(), tape.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

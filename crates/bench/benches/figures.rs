@@ -1,0 +1,28 @@
+//! Figures bench: regenerates Fig. 3 (BT cube) and Fig. 6 (CG bar)
+//! artifacts and times the renderers (run `gen_figures` for all six).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutiny_core::scrutinize;
+use scrutiny_npb::{Bt, Cg};
+use scrutiny_viz::ascii::component_slice;
+use scrutiny_viz::{detect_planes, runlength_chart, runlength_svg, volume_montage_pgm};
+
+fn bench(c: &mut Criterion) {
+    let bt = scrutinize(&Bt::class_s());
+    let (cube, dims) = component_slice(&bt.var("u").unwrap().value_map, [12, 13, 13, 5], 0);
+    println!("\nFig. 3 dead planes: {:?}", detect_planes(&cube, dims));
+    let cg = scrutinize(&Cg::class_s());
+    let xmap = &cg.var("x").unwrap().value_map;
+    println!("Fig. 6 layout:\n{}", runlength_chart(xmap, 72));
+
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig3_montage_pgm", |b| {
+        b.iter(|| volume_montage_pgm(&cube, dims, 4, 8).len())
+    });
+    g.bench_function("fig6_svg", |b| b.iter(|| runlength_svg(xmap, 720, 32).len()));
+    g.bench_function("plane_detector", |b| b.iter(|| detect_planes(&cube, dims)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §IV.C bench: prints the restart-verification line for BT class S and
+//! times the full checkpoint→fail→restore→verify cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutiny_core::{checkpoint_restart_cycle, scrutinize, Policy, RestartConfig};
+use scrutiny_npb::{Bt, Cg};
+
+fn bench(c: &mut Criterion) {
+    let bt = Bt::class_s();
+    let analysis = scrutinize(&bt);
+    let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+    let r = checkpoint_restart_cycle(&bt, &analysis, &cfg).unwrap();
+    println!(
+        "\nBT class S restart: verified={} rel_err={:.2e} pruned={}B full={}B",
+        r.verified,
+        r.rel_err,
+        r.storage.total(),
+        r.full_storage.total()
+    );
+
+    let mut g = c.benchmark_group("restart_verify");
+    g.sample_size(10);
+    g.bench_function("bt_cycle", |b| {
+        b.iter(|| checkpoint_restart_cycle(&bt, &analysis, &cfg).unwrap())
+    });
+    let cg = Cg::mini();
+    let cg_analysis = scrutinize(&cg);
+    g.bench_function("cg_mini_cycle", |b| {
+        b.iter(|| checkpoint_restart_cycle(&cg, &cg_analysis, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table II bench: regenerates the uncritical-element rows (class S,
+//! FFT-free subset for speed; `gen_table2` covers all six), then times
+//! the scrutinizer on representative instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutiny_core::{format_table2, scrutinize, table2_rows, ScrutinyApp};
+use scrutiny_npb::{Bt, Cg, Lu, Mg, Sp};
+
+fn print_table2() {
+    let apps: Vec<Box<dyn ScrutinyApp>> = vec![
+        Box::new(Bt::class_s()),
+        Box::new(Sp::class_s()),
+        Box::new(Mg::class_s()),
+        Box::new(Cg::class_s()),
+        Box::new(Lu::class_s()),
+    ];
+    let mut rows = Vec::new();
+    for app in &apps {
+        rows.extend(table2_rows(&scrutinize(app.as_ref())));
+    }
+    println!("\n{}", format_table2(&rows));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    let mut g = c.benchmark_group("table2_scrutinize");
+    g.sample_size(10);
+    g.bench_function("bt_class_s", |b| b.iter(|| scrutinize(&Bt::class_s())));
+    g.bench_function("cg_mini", |b| b.iter(|| scrutinize(&Cg::mini())));
+    g.bench_function("mg_mini", |b| b.iter(|| scrutinize(&Mg::mini())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

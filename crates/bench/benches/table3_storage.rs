@@ -1,0 +1,44 @@
+//! Table III bench: regenerates the storage rows for the non-FFT class-S
+//! benchmarks, then times full vs pruned checkpoint serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutiny_ckpt::writer::serialize;
+use scrutiny_ckpt::VarPlan;
+use scrutiny_core::plan::plans_for;
+use scrutiny_core::restart::capture_state;
+use scrutiny_core::{format_table3, scrutinize, table3_row, Policy, ScrutinyApp};
+use scrutiny_npb::{Bt, Cg, Lu, Mg, Sp};
+
+fn bench(c: &mut Criterion) {
+    let apps: Vec<Box<dyn ScrutinyApp>> = vec![
+        Box::new(Bt::class_s()),
+        Box::new(Sp::class_s()),
+        Box::new(Mg::class_s()),
+        Box::new(Cg::class_s()),
+        Box::new(Lu::class_s()),
+    ];
+    let mut rows = Vec::new();
+    for app in &apps {
+        let analysis = scrutinize(app.as_ref());
+        let captured = capture_state(app.as_ref());
+        rows.push(table3_row(&analysis, &captured).expect("in-memory"));
+    }
+    println!("\n{}", format_table3(&rows));
+
+    let bt = Bt::class_s();
+    let analysis = scrutinize(&bt);
+    let captured = capture_state(&bt);
+    let pruned = plans_for(&analysis, Policy::PrunedValue);
+    let full: Vec<VarPlan> = captured.iter().map(|_| VarPlan::Full).collect();
+    let mut g = c.benchmark_group("table3_storage");
+    g.bench_function("serialize_full_bt", |b| {
+        b.iter(|| serialize(&captured, &full).unwrap().breakdown)
+    });
+    g.bench_function("serialize_pruned_bt", |b| {
+        b.iter(|| serialize(&captured, &pruned).unwrap().breakdown)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation A1: value-gradient criticality (the paper's criterion) vs
+//! structural reachability vs liveness tracking — agreement, disagreement
+//! and what each costs.
+
+use scrutiny_core::scrutinize;
+use scrutiny_npb::is::IsSite;
+use scrutiny_npb::{ad_suite, Is};
+
+fn main() {
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>14}",
+        "Variable", "total", "unc(value)", "unc(structural)", "cancel-only"
+    );
+    for app in ad_suite() {
+        let report = scrutinize(app.as_ref());
+        for v in &report.vars {
+            if v.total() <= 1 {
+                continue;
+            }
+            let cancel = v.cancellation_only().len();
+            println!(
+                "{:<12} {:>10} {:>12} {:>14} {:>14}",
+                format!("{}({})", report.app.name, v.spec.name),
+                v.total(),
+                v.uncritical(),
+                v.structural_map.count_zeros(),
+                cancel,
+            );
+        }
+    }
+    // Liveness on the integer benchmark.
+    let is = Is::class_s();
+    let out = is.run(IsSite::Track);
+    for r in &out.reports {
+        println!(
+            "{:<12} {:>10} {:>12} {:>14} {:>14}",
+            format!("IS({})", r.name),
+            r.critical.len(),
+            "-",
+            r.uncritical(),
+            "-"
+        );
+    }
+    println!("\n`cancel-only` elements are structurally reachable but have an exactly");
+    println!("zero derivative; dropping them is unsafe under large perturbations —");
+    println!("the reason our restore plans follow the read-participation structure.");
+}

@@ -1,0 +1,82 @@
+//! Regenerates the paper's Figures 3-8: criticality distributions as
+//! ASCII (stdout), PGM and SVG files under experiments/out/.
+
+use scrutiny_core::scrutinize;
+use scrutiny_npb::{Bt, Cg, Ft, Lu, Mg};
+use scrutiny_viz::ascii::component_slice;
+use scrutiny_viz::{
+    detect_periodicity, detect_planes, runlength_chart, runlength_svg, slice_ascii, slice_pgm,
+    volume_montage_pgm,
+};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out = Path::new("experiments/out");
+    fs::create_dir_all(out).expect("cannot create experiments/out");
+
+    // ---- Figure 3: BT u (one of the five identical component cubes) ----
+    let bt = scrutinize(&Bt::class_s());
+    let u = bt.var("u").unwrap();
+    let (cube, dims) = component_slice(&u.value_map, [12, 13, 13, 5], 0);
+    println!("Figure 3 — BT u[..][0], slice k=6 (# critical, . uncritical):");
+    print!("{}", slice_ascii(&cube, dims, 0, 6));
+    let planes = detect_planes(&cube, dims);
+    println!("dead planes detected: {planes:?} (paper: surfaces y=12 and z=12)\n");
+    fs::write(out.join("fig3_bt_u.pgm"), volume_montage_pgm(&cube, dims, 4, 8)).unwrap();
+
+    // ---- Figures 4 & 5: MG u and r run-length layouts -----------------
+    let mg = scrutinize(&Mg::class_s());
+    let mg_u = mg.var("u").unwrap();
+    println!("Figure 4 — MG u run-length layout:");
+    print!("{}", runlength_chart(&mg_u.value_map, 72));
+    fs::write(out.join("fig4_mg_u.svg"), runlength_svg(&mg_u.value_map, 720, 32)).unwrap();
+
+    let mg_r = mg.var("r").unwrap();
+    println!("\nFigure 5 — MG r run-length layout (repetitive pattern):");
+    print!("{}", runlength_chart(&mg_r.value_map, 72));
+    // The finest level is 34^3; the repetition is the padded row length.
+    let fine = scrutiny_core::Bitmap::from_fn(34 * 34 * 34, |i| mg_r.value_map.get(i));
+    match detect_periodicity(&fine, 64, 0.90) {
+        Some(p) => println!(
+            "periodicity on the finest level: {} elements ({:.1}% self-match; paper: 34-element rows)",
+            p.period,
+            100.0 * p.fraction
+        ),
+        None => println!("no periodicity detected (unexpected)"),
+    }
+    fs::write(out.join("fig5_mg_r.svg"), runlength_svg(&mg_r.value_map, 720, 32)).unwrap();
+
+    // ---- Figure 6: CG x -----------------------------------------------
+    let cg = scrutinize(&Cg::class_s());
+    let x = cg.var("x").unwrap();
+    println!("\nFigure 6 — CG x run-length layout:");
+    print!("{}", runlength_chart(&x.value_map, 72));
+    fs::write(out.join("fig6_cg_x.svg"), runlength_svg(&x.value_map, 720, 32)).unwrap();
+
+    // ---- Figure 7: LU u[..][4] ------------------------------------------
+    let lu = scrutinize(&Lu::class_s());
+    let lu_u = lu.var("u").unwrap();
+    let (cube4, dims4) = component_slice(&lu_u.value_map, [12, 13, 13, 5], 4);
+    println!("\nFigure 7 — LU u[..][4], slices k=0 and k=6:");
+    print!("{}", slice_ascii(&cube4, dims4, 0, 0));
+    println!();
+    print!("{}", slice_ascii(&cube4, dims4, 0, 6));
+    println!(
+        "(k=0: only the j,i-interior square is critical — the z-direction flux slab;\n k=6: full Fig. 3 cross section)"
+    );
+    fs::write(out.join("fig7_lu_u4.pgm"), volume_montage_pgm(&cube4, dims4, 4, 8)).unwrap();
+
+    // ---- Figure 8: FT y --------------------------------------------------
+    let ft = scrutinize(&Ft::class_s());
+    let y = ft.var("y").unwrap();
+    let planes = detect_planes(&y.value_map, [64, 64, 65]);
+    println!("\nFigure 8 — FT y: dead planes {planes:?} (paper: the padding layer at index 64)");
+    fs::write(
+        out.join("fig8_ft_y.pgm"),
+        slice_pgm(&y.value_map, [64, 64, 65], 0, 0, 4),
+    )
+    .unwrap();
+
+    println!("\nimages written to {}", out.display());
+}

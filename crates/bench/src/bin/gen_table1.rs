@@ -1,0 +1,21 @@
+//! Regenerates the paper's Table I: variables necessary for checkpointing.
+
+use scrutiny_core::format_table1;
+use scrutiny_npb::{ad_suite, Is};
+
+fn main() {
+    let mut specs: Vec<_> = ad_suite().iter().map(|a| a.spec()).collect();
+    // IS is integer-only; list its Table I row explicitly.
+    let is = Is::class_s();
+    specs.push(scrutiny_core::AppSpec {
+        name: "IS".into(),
+        class: "S".into(),
+        vars: vec![
+            scrutiny_core::VarSpec::int_scalar("passed_verification"),
+            scrutiny_core::VarSpec::i64("key_array", &[is.total_keys]),
+            scrutiny_core::VarSpec::i64("bucket_ptrs", &[is.buckets]),
+            scrutiny_core::VarSpec::int_scalar("iteration"),
+        ],
+    });
+    print!("{}", format_table1(&specs));
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's Table III: checkpoint storage before/after
+//! pruning uncritical elements, with paper-vs-measured columns.
+
+use scrutiny_bench::expectations::expected3;
+use scrutiny_core::restart::capture_state;
+use scrutiny_core::{scrutinize, table3_row};
+use scrutiny_npb::table2_suite;
+
+fn main() {
+    println!("Table III: checkpointing storage (class S)");
+    println!(
+        "{:<6} {:>11} {:>11} {:>8} {:>9} {:>12} {:>12}",
+        "Bench", "Original", "Optimized", "Saved", "Aux", "Paper orig", "Paper opt"
+    );
+    let mut avg = 0.0;
+    let mut max: f64 = 0.0;
+    let mut n = 0usize;
+    for app in table2_suite() {
+        let report = scrutinize(app.as_ref());
+        let captured = capture_state(app.as_ref());
+        let row = table3_row(&report, &captured).expect("serialization cannot fail in memory");
+        let paper = expected3(&row.bench);
+        println!(
+            "{:<6} {:>9.1}kb {:>9.1}kb {:>7.1}% {:>7.2}kb {:>10}kb {:>10}kb",
+            row.bench,
+            row.original_kib,
+            row.optimized_kib,
+            row.saved_pct(),
+            row.aux_kib,
+            paper.map_or("-".into(), |e| format!("{:.1}", e.original_kb)),
+            paper.map_or("-".into(), |e| format!("{:.1}", e.optimized_kb)),
+        );
+        avg += row.saved_pct();
+        max = max.max(row.saved_pct());
+        n += 1;
+    }
+    avg /= n as f64;
+    println!("\naverage storage saved: {avg:.1}% (paper: ~13%), max: {max:.1}% (paper: up to 20%)");
+}

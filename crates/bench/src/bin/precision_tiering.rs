@@ -1,0 +1,53 @@
+//! Extension A2 (paper §VII future work): precision-tiered checkpoints.
+//! Elements with small |∂output/∂element| are stored as f32; the sweep
+//! shows the storage/accuracy trade-off.
+
+use scrutiny_core::{checkpoint_restart_cycle, scrutinize, Policy, RestartConfig};
+use scrutiny_npb::{Bt, Cg, Mg};
+use scrutiny_core::ScrutinyApp;
+
+fn main() {
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>14}",
+        "Bench", "threshold", "payload kb", "vs full", "restart relerr"
+    );
+    let apps: Vec<Box<dyn ScrutinyApp>> =
+        vec![Box::new(Bt::class_s()), Box::new(Mg::class_s()), Box::new(Cg::class_s())];
+    for app in &apps {
+        let analysis = scrutinize(app.as_ref());
+        // Thresholds from the gradient-magnitude distribution.
+        let mut mags: Vec<f64> = analysis
+            .vars
+            .iter()
+            .flat_map(|v| v.grad_mag.iter().copied())
+            .filter(|&g| g.is_finite() && g > 0.0)
+            .collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| mags[((mags.len() - 1) as f64 * p) as usize];
+        for (label, tau) in [
+            ("p0 (all f64)", 0.0),
+            ("p50", pct(0.5)),
+            ("p90", pct(0.9)),
+            ("p100 (all f32)", f64::INFINITY),
+        ] {
+            let policy = if tau == 0.0 {
+                Policy::PrunedValue
+            } else if tau.is_infinite() {
+                Policy::Tiered { hi_threshold: f64::MAX }
+            } else {
+                Policy::Tiered { hi_threshold: tau }
+            };
+            let cfg = RestartConfig { policy, ..Default::default() };
+            let r = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg)
+                .expect("in-memory cycle");
+            println!(
+                "{:<6} {:>12} {:>10.1}kb {:>11.1}% {:>14.2e}",
+                analysis.app.name,
+                label,
+                r.storage.payload_bytes as f64 / 1024.0,
+                100.0 * r.storage.payload_bytes as f64 / r.full_storage.payload_bytes as f64,
+                r.rel_err,
+            );
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! # scrutiny-bench — experiment harness
+//!
+//! Binaries and criterion benches that regenerate every table and figure
+//! of the paper; see DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+pub mod expectations;

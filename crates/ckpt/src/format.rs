@@ -1,0 +1,306 @@
+//! Checkpoint format primitives: typed payloads, plans, errors, CRC32,
+//! storage accounting and restore fill policies.
+
+use crate::Regions;
+use std::fmt;
+
+/// Element type of a checkpoint variable (Table I's data structures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DType {
+    /// IEEE-754 double — NPB's `double` arrays and scalars.
+    F64,
+    /// NPB's custom `dcomplex` (two doubles). One *element* = one complex.
+    C128,
+    /// Integer control state (loop indices, sort keys).
+    I64,
+}
+
+impl DType {
+    /// Stored size of one element in bytes.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            DType::F64 => 8,
+            DType::C128 => 16,
+            DType::I64 => 8,
+        }
+    }
+
+    /// Wire tag.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DType::F64 => 0,
+            DType::C128 => 1,
+            DType::I64 => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(t: u8) -> Result<Self, CkptError> {
+        match t {
+            0 => Ok(DType::F64),
+            1 => Ok(DType::C128),
+            2 => Ok(DType::I64),
+            _ => Err(CkptError::Corrupt(format!("unknown dtype tag {t}"))),
+        }
+    }
+}
+
+/// Typed payload of one checkpoint variable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VarData {
+    /// Double-precision array (or scalar of length 1).
+    F64(Vec<f64>),
+    /// Complex array: `(re, im)` pairs.
+    C128(Vec<(f64, f64)>),
+    /// Integer array/scalar.
+    I64(Vec<i64>),
+}
+
+impl VarData {
+    /// Element count (complex counts as one element, as in the paper).
+    pub fn len(&self) -> usize {
+        match self {
+            VarData::F64(v) => v.len(),
+            VarData::C128(v) => v.len(),
+            VarData::I64(v) => v.len(),
+        }
+    }
+
+    /// True for a zero-length payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element type.
+    pub fn dtype(&self) -> DType {
+        match self {
+            VarData::F64(_) => DType::F64,
+            VarData::C128(_) => DType::C128,
+            VarData::I64(_) => DType::I64,
+        }
+    }
+
+    /// Full (unpruned) payload size in bytes.
+    pub fn full_bytes(&self) -> usize {
+        self.len() * self.dtype().elem_bytes()
+    }
+}
+
+/// One named checkpoint variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarRecord {
+    /// Variable name (matching the application's checkpoint spec).
+    pub name: String,
+    /// Payload.
+    pub data: VarData,
+}
+
+impl VarRecord {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, data: VarData) -> Self {
+        VarRecord { name: name.into(), data }
+    }
+}
+
+/// Per-variable storage decision produced by the planner.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VarPlan {
+    /// Store every element (the baseline the paper compares against).
+    Full,
+    /// Store only the critical regions; the auxiliary file records them.
+    Pruned(Regions),
+    /// Precision-tiered storage (§VII future work): `hi` regions keep f64,
+    /// `lo` regions are downcast to f32, everything else is dropped.
+    /// Only valid for [`DType::F64`] variables.
+    Tiered {
+        /// Full-precision regions (large gradient magnitude).
+        hi: Regions,
+        /// Reduced-precision regions (small but non-zero gradient).
+        lo: Regions,
+    },
+}
+
+impl VarPlan {
+    /// Number of elements this plan persists.
+    pub fn stored_elems(&self, total: u64) -> u64 {
+        match self {
+            VarPlan::Full => total,
+            VarPlan::Pruned(r) => r.covered(),
+            VarPlan::Tiered { hi, lo } => hi.covered() + lo.covered(),
+        }
+    }
+}
+
+/// Byte-exact storage accounting for one written checkpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// Element payload bytes in the data file.
+    pub payload_bytes: usize,
+    /// Auxiliary (region table) file bytes.
+    pub aux_bytes: usize,
+    /// Headers, names, lengths, CRCs in both files.
+    pub header_bytes: usize,
+}
+
+impl StorageBreakdown {
+    /// Everything on disk for this checkpoint.
+    pub fn total(&self) -> usize {
+        self.payload_bytes + self.aux_bytes + self.header_bytes
+    }
+
+    /// Payload-only kilobytes (KiB), the unit Table III reports.
+    pub fn payload_kib(&self) -> f64 {
+        self.payload_bytes as f64 / 1024.0
+    }
+
+    /// Total kilobytes including the auxiliary file.
+    pub fn total_kib(&self) -> f64 {
+        self.total() as f64 / 1024.0
+    }
+}
+
+/// How restore fills elements the checkpoint did not store.
+///
+/// The paper's §IV.C argument: uncritical elements "should not impact the
+/// computation correctness even if their values are altered by system
+/// failures" — so tests fill them with garbage and require the run to
+/// still verify.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FillPolicy {
+    /// Zero-fill (what a fresh allocation would give).
+    Zero,
+    /// A recognizable poison value; makes accidental reads obvious.
+    Sentinel(f64),
+    /// Deterministic pseudo-random garbage from a seed.
+    Garbage(u64),
+}
+
+impl FillPolicy {
+    /// Fill value for element `i`.
+    pub fn value(self, i: usize) -> f64 {
+        match self {
+            FillPolicy::Zero => 0.0,
+            FillPolicy::Sentinel(v) => v,
+            FillPolicy::Garbage(seed) => {
+                // splitmix64 → uniform in [-1e6, 1e6): garbage that stays
+                // finite so IEEE traps don't mask a criticality error.
+                let mut z = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z as f64 / u64::MAX as f64 - 0.5) * 2e6
+            }
+        }
+    }
+}
+
+/// Errors from the checkpoint reader/writer.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid or truncated file.
+    Corrupt(String),
+    /// CRC mismatch — the file was damaged after being written.
+    ChecksumMismatch {
+        /// CRC recorded in the file.
+        expected: u32,
+        /// CRC of the bytes actually read.
+        actual: u32,
+    },
+    /// A requested variable is not in the checkpoint.
+    MissingVar(String),
+    /// Plan/payload disagreement (e.g. tiered plan on a complex variable).
+    PlanMismatch(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CkptError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checkpoint CRC mismatch: file says {expected:#010x}, data hashes to {actual:#010x}")
+            }
+            CkptError::MissingVar(n) => write!(f, "variable {n:?} not present in checkpoint"),
+            CkptError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320) — same polynomial as zip/png.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 == 1 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn dtype_roundtrip() {
+        for d in [DType::F64, DType::C128, DType::I64] {
+            assert_eq!(DType::from_tag(d.tag()).unwrap(), d);
+        }
+        assert!(DType::from_tag(9).is_err());
+    }
+
+    #[test]
+    fn var_data_sizes() {
+        assert_eq!(VarData::F64(vec![0.0; 10]).full_bytes(), 80);
+        assert_eq!(VarData::C128(vec![(0.0, 0.0); 10]).full_bytes(), 160);
+        assert_eq!(VarData::I64(vec![0; 3]).full_bytes(), 24);
+    }
+
+    #[test]
+    fn fill_policies_are_deterministic() {
+        assert_eq!(FillPolicy::Zero.value(42), 0.0);
+        assert_eq!(FillPolicy::Sentinel(9.5).value(0), 9.5);
+        let a = FillPolicy::Garbage(7).value(3);
+        let b = FillPolicy::Garbage(7).value(3);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+        assert_ne!(FillPolicy::Garbage(7).value(3), FillPolicy::Garbage(7).value(4));
+    }
+
+    #[test]
+    fn storage_breakdown_totals() {
+        let s = StorageBreakdown { payload_bytes: 1024, aux_bytes: 512, header_bytes: 64 };
+        assert_eq!(s.total(), 1600);
+        assert!((s.payload_kib() - 1.0).abs() < 1e-12);
+    }
+}

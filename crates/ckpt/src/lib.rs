@@ -1,0 +1,40 @@
+//! # scrutiny-ckpt — criticality-pruned checkpoint/restart
+//!
+//! The paper verifies its AD analysis with a "homemade checkpointing
+//! library that saves only critical elements to checkpoints", plus an
+//! *auxiliary file* that "only records the start and end locations of the
+//! region of continuous critical elements" (§III.B). This crate is that
+//! library, production-grade:
+//!
+//! * [`Bitmap`] — one bit per element: critical / uncritical.
+//! * [`Regions`] — run-length encoding of a bitmap: the auxiliary file's
+//!   in-memory form. Conversions both ways, set algebra, index iteration.
+//! * [`VarData`] / [`VarRecord`] — typed checkpoint payloads (`f64`,
+//!   `dcomplex`, `i64`), matching the NPB variable types of Table I.
+//! * [`VarPlan`] — what to store per variable: everything, only critical
+//!   regions, or precision-tiered regions (f64 / f32 / dropped — the
+//!   paper's §VII future-work idea).
+//! * [`writer`] / [`reader`] — a versioned binary format (magic, CRC32,
+//!   explicit lengths) with byte-exact storage accounting, written either
+//!   to memory or to disk; restore materializes full-size buffers, filling
+//!   uncritical holes according to a [`FillPolicy`].
+//! * [`store`] — a versioned multi-checkpoint directory (keep-last-k), the
+//!   usual operational shape of application-level C/R.
+//! * [`incremental`] — a page-granularity incremental checkpoint baseline
+//!   (à la dirty-page tracking, cf. Vasavada et al. in the paper's related
+//!   work) for storage comparisons.
+
+pub mod bitmap;
+pub mod format;
+pub mod incremental;
+pub mod reader;
+pub mod regions;
+pub mod store;
+pub mod writer;
+
+pub use bitmap::Bitmap;
+pub use format::{CkptError, DType, FillPolicy, StorageBreakdown, VarData, VarPlan, VarRecord};
+pub use reader::Checkpoint;
+pub use regions::{Region, Regions};
+pub use store::CheckpointStore;
+pub use writer::{serialize_aux, serialize_data, write_checkpoint};

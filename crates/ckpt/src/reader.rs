@@ -1,0 +1,437 @@
+//! Checkpoint deserialization and restore-time materialization.
+//!
+//! Restoring a pruned checkpoint reverses the writer: stored elements are
+//! placed at the offsets recorded in the auxiliary file; the holes (the
+//! uncritical elements the paper proved removable) are filled according to
+//! a [`FillPolicy`] — the §IV.C experiments fill them with garbage and
+//! require the application to still verify.
+
+use crate::format::{crc32, CkptError, DType, FillPolicy, VarPlan};
+use crate::writer::{file_names, MODE_FULL, MODE_PRUNED, MODE_TIERED};
+use crate::{Region, Regions};
+use std::fs;
+use std::path::Path;
+
+/// One variable loaded from a checkpoint (sparse form).
+pub struct LoadedVar {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Full logical element count of the variable.
+    pub total: u64,
+    /// Storage plan reconstructed from the auxiliary file.
+    pub plan: VarPlan,
+    /// Stored elements in region order (f64 view; complex uses two slots
+    /// per element; tiered `lo` values were upcast from f32 on read).
+    stored: Vec<f64>,
+    /// Stored integer elements (only for [`DType::I64`]).
+    stored_i: Vec<i64>,
+}
+
+impl LoadedVar {
+    /// Reassemble the full `f64` array, filling unsaved holes.
+    pub fn materialize_f64(&self, fill: FillPolicy) -> Result<Vec<f64>, CkptError> {
+        if self.dtype != DType::F64 {
+            return Err(CkptError::PlanMismatch(format!(
+                "{:?} is {:?}, not F64",
+                self.name, self.dtype
+            )));
+        }
+        let n = self.total as usize;
+        let mut out: Vec<f64> = (0..n).map(|i| fill.value(i)).collect();
+        match &self.plan {
+            VarPlan::Full => out.copy_from_slice(&self.stored),
+            VarPlan::Pruned(regions) => {
+                scatter(&mut out, regions, &self.stored);
+            }
+            VarPlan::Tiered { hi, lo } => {
+                let hi_n = hi.covered() as usize;
+                scatter(&mut out, hi, &self.stored[..hi_n]);
+                scatter(&mut out, lo, &self.stored[hi_n..]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reassemble the full complex array, filling holes in both components.
+    pub fn materialize_c128(&self, fill: FillPolicy) -> Result<Vec<(f64, f64)>, CkptError> {
+        if self.dtype != DType::C128 {
+            return Err(CkptError::PlanMismatch(format!(
+                "{:?} is {:?}, not C128",
+                self.name, self.dtype
+            )));
+        }
+        let n = self.total as usize;
+        let mut out: Vec<(f64, f64)> =
+            (0..n).map(|i| (fill.value(2 * i), fill.value(2 * i + 1))).collect();
+        let pairs: Vec<(f64, f64)> =
+            self.stored.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        match &self.plan {
+            VarPlan::Full => out.copy_from_slice(&pairs),
+            VarPlan::Pruned(regions) => {
+                let mut k = 0;
+                for i in regions.indices() {
+                    out[i as usize] = pairs[k];
+                    k += 1;
+                }
+            }
+            VarPlan::Tiered { .. } => {
+                return Err(CkptError::PlanMismatch(
+                    "tiered complex variables are not supported".into(),
+                ))
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reassemble the full integer array; holes get `fill`.
+    pub fn materialize_i64(&self, fill: i64) -> Result<Vec<i64>, CkptError> {
+        if self.dtype != DType::I64 {
+            return Err(CkptError::PlanMismatch(format!(
+                "{:?} is {:?}, not I64",
+                self.name, self.dtype
+            )));
+        }
+        let n = self.total as usize;
+        let mut out = vec![fill; n];
+        match &self.plan {
+            VarPlan::Full => out.copy_from_slice(&self.stored_i),
+            VarPlan::Pruned(regions) => {
+                let mut k = 0;
+                for i in regions.indices() {
+                    out[i as usize] = self.stored_i[k];
+                    k += 1;
+                }
+            }
+            VarPlan::Tiered { .. } => {
+                return Err(CkptError::PlanMismatch(
+                    "tiered integer variables are not supported".into(),
+                ))
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn scatter(out: &mut [f64], regions: &Regions, stored: &[f64]) {
+    let mut k = 0;
+    for i in regions.indices() {
+        out[i as usize] = stored[k];
+        k += 1;
+    }
+}
+
+/// A parsed checkpoint (all variables).
+pub struct Checkpoint {
+    vars: Vec<LoadedVar>,
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CkptError::Corrupt(format!(
+                "truncated: need {n} bytes at offset {}, file has {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, CkptError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, CkptError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn name(&mut self) -> Result<String, CkptError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CkptError::Corrupt("variable name is not UTF-8".into()))
+    }
+}
+
+fn check_envelope<'a>(buf: &'a [u8], magic: &[u8; 8], what: &str) -> Result<&'a [u8], CkptError> {
+    if buf.len() < 12 + 4 {
+        return Err(CkptError::Corrupt(format!("{what} file too short")));
+    }
+    if &buf[..8] != magic {
+        return Err(CkptError::Corrupt(format!("{what} file has wrong magic")));
+    }
+    let body = &buf[..buf.len() - 4];
+    let expected = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+    let actual = crc32(body);
+    if expected != actual {
+        return Err(CkptError::ChecksumMismatch { expected, actual });
+    }
+    Ok(body)
+}
+
+fn read_runs(c: &mut Cursor) -> Result<Regions, CkptError> {
+    let n = c.u64()? as usize;
+    if n > 1 << 32 {
+        return Err(CkptError::Corrupt(format!("implausible run count {n}")));
+    }
+    let mut runs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = c.u64()?;
+        let end = c.u64()?;
+        if end <= start {
+            return Err(CkptError::Corrupt(format!("empty region [{start},{end})")));
+        }
+        runs.push(Region { start, end });
+    }
+    Ok(Regions::from_runs(runs))
+}
+
+impl Checkpoint {
+    /// Parse a checkpoint from in-memory data + auxiliary file images.
+    pub fn from_bytes(data: &[u8], aux: &[u8]) -> Result<Self, CkptError> {
+        // --- auxiliary file first: it carries the region tables ----------
+        let body = check_envelope(aux, b"SCRUTAUX", "auxiliary")?;
+        let mut c = Cursor { buf: body, pos: 8 };
+        let _ver = c.u32()?;
+        let nvars = c.u32()? as usize;
+        let mut plans: Vec<(String, VarPlan)> = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let name = c.name()?;
+            let mode = c.u8()?;
+            let plan = match mode {
+                MODE_FULL => VarPlan::Full,
+                MODE_PRUNED => VarPlan::Pruned(read_runs(&mut c)?),
+                MODE_TIERED => VarPlan::Tiered { hi: read_runs(&mut c)?, lo: read_runs(&mut c)? },
+                m => return Err(CkptError::Corrupt(format!("unknown plan mode {m}"))),
+            };
+            plans.push((name, plan));
+        }
+
+        // --- data file ----------------------------------------------------
+        let body = check_envelope(data, b"SCRUTCKP", "data")?;
+        let mut c = Cursor { buf: body, pos: 8 };
+        let _ver = c.u32()?;
+        let nvars_d = c.u32()? as usize;
+        if nvars_d != nvars {
+            return Err(CkptError::Corrupt(format!(
+                "data file has {nvars_d} variables, auxiliary file has {nvars}"
+            )));
+        }
+        let mut vars = Vec::with_capacity(nvars);
+        for (aux_name, plan) in plans {
+            let name = c.name()?;
+            if name != aux_name {
+                return Err(CkptError::Corrupt(format!(
+                    "variable order mismatch: data {name:?} vs aux {aux_name:?}"
+                )));
+            }
+            let dtype = DType::from_tag(c.u8()?)?;
+            let mode = c.u8()?;
+            let total = c.u64()?;
+            let mut stored = Vec::new();
+            let mut stored_i = Vec::new();
+            match mode {
+                MODE_FULL | MODE_PRUNED => {
+                    let count = c.u64()? as usize;
+                    match dtype {
+                        DType::F64 => {
+                            stored.reserve(count);
+                            for _ in 0..count {
+                                stored.push(c.f64()?);
+                            }
+                        }
+                        DType::C128 => {
+                            stored.reserve(2 * count);
+                            for _ in 0..count {
+                                stored.push(c.f64()?);
+                                stored.push(c.f64()?);
+                            }
+                        }
+                        DType::I64 => {
+                            stored_i.reserve(count);
+                            for _ in 0..count {
+                                stored_i.push(c.i64()?);
+                            }
+                        }
+                    }
+                }
+                MODE_TIERED => {
+                    let hi = c.u64()? as usize;
+                    for _ in 0..hi {
+                        stored.push(c.f64()?);
+                    }
+                    let lo = c.u64()? as usize;
+                    for _ in 0..lo {
+                        stored.push(f64::from(c.f32()?));
+                    }
+                }
+                m => return Err(CkptError::Corrupt(format!("unknown data mode {m}"))),
+            }
+            // Cross-check the two files agree on how much was stored.
+            let planned = plan.stored_elems(total);
+            let actual = match dtype {
+                DType::C128 => stored.len() as u64 / 2,
+                DType::I64 => stored_i.len() as u64,
+                DType::F64 => match &plan {
+                    VarPlan::Tiered { .. } => stored.len() as u64, // hi+lo
+                    _ => stored.len() as u64,
+                },
+            };
+            if planned != actual {
+                return Err(CkptError::Corrupt(format!(
+                    "{name:?}: auxiliary file plans {planned} elements, data file stores {actual}"
+                )));
+            }
+            vars.push(LoadedVar { name, dtype, total, plan, stored, stored_i });
+        }
+        Ok(Checkpoint { vars })
+    }
+
+    /// Load checkpoint `version` from a store directory.
+    pub fn load(dir: &Path, version: u64) -> Result<Self, CkptError> {
+        let (data_path, aux_path) = file_names(dir, version);
+        let data = fs::read(&data_path)?;
+        let aux = fs::read(&aux_path)?;
+        Self::from_bytes(&data, &aux)
+    }
+
+    /// Look up a variable by name.
+    pub fn var(&self, name: &str) -> Result<&LoadedVar, CkptError> {
+        self.vars
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| CkptError::MissingVar(name.to_string()))
+    }
+
+    /// All variable names in file order.
+    pub fn names(&self) -> Vec<&str> {
+        self.vars.iter().map(|v| v.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::serialize;
+    use crate::{Bitmap, VarData, VarRecord};
+
+    fn roundtrip(vars: &[VarRecord], plans: &[VarPlan]) -> Checkpoint {
+        let ser = serialize(vars, plans).unwrap();
+        Checkpoint::from_bytes(&ser.data, &ser.aux).unwrap()
+    }
+
+    #[test]
+    fn full_roundtrip_f64() {
+        let vals: Vec<f64> = (0..50).map(|i| i as f64 * 1.5).collect();
+        let vars = vec![VarRecord::new("u", VarData::F64(vals.clone()))];
+        let ck = roundtrip(&vars, &[VarPlan::Full]);
+        let got = ck.var("u").unwrap().materialize_f64(FillPolicy::Zero).unwrap();
+        assert_eq!(got, vals);
+    }
+
+    #[test]
+    fn pruned_roundtrip_fills_holes() {
+        let vals: Vec<f64> = (0..10).map(f64::from).collect();
+        let crit = Bitmap::from_fn(10, |i| i % 2 == 0);
+        let vars = vec![VarRecord::new("u", VarData::F64(vals))];
+        let plans = vec![VarPlan::Pruned(Regions::from_bitmap(&crit))];
+        let ck = roundtrip(&vars, &plans);
+        let got = ck.var("u").unwrap().materialize_f64(FillPolicy::Sentinel(-9.0)).unwrap();
+        for i in 0..10 {
+            if i % 2 == 0 {
+                assert_eq!(got[i], i as f64);
+            } else {
+                assert_eq!(got[i], -9.0);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_roundtrip() {
+        let vals: Vec<(f64, f64)> = (0..8).map(|i| (i as f64, -(i as f64))).collect();
+        let crit = Bitmap::from_fn(8, |i| i < 6);
+        let vars = vec![VarRecord::new("y", VarData::C128(vals.clone()))];
+        let plans = vec![VarPlan::Pruned(Regions::from_bitmap(&crit))];
+        let ck = roundtrip(&vars, &plans);
+        let got = ck.var("y").unwrap().materialize_c128(FillPolicy::Zero).unwrap();
+        assert_eq!(&got[..6], &vals[..6]);
+        assert_eq!(got[6], (0.0, 0.0));
+    }
+
+    #[test]
+    fn integer_roundtrip() {
+        let vars = vec![VarRecord::new("it", VarData::I64(vec![41, 42, 43]))];
+        let ck = roundtrip(&vars, &[VarPlan::Full]);
+        assert_eq!(ck.var("it").unwrap().materialize_i64(0).unwrap(), vec![41, 42, 43]);
+    }
+
+    #[test]
+    fn tiered_roundtrip_loses_lo_precision_only() {
+        let vals = vec![1.0 + 1e-12, 2.5, 3.25, 4.0 + 1e-12];
+        let vars = vec![VarRecord::new("u", VarData::F64(vals.clone()))];
+        let hi = Regions::from_runs(vec![Region { start: 0, end: 2 }]);
+        let lo = Regions::from_runs(vec![Region { start: 3, end: 4 }]);
+        let plans = vec![VarPlan::Tiered { hi, lo }];
+        let ck = roundtrip(&vars, &plans);
+        let got = ck.var("u").unwrap().materialize_f64(FillPolicy::Zero).unwrap();
+        assert_eq!(got[0], vals[0]); // exact f64
+        assert_eq!(got[1], vals[1]);
+        assert_eq!(got[2], 0.0); // dropped
+        assert_eq!(got[3], vals[3] as f32 as f64); // f32 round-trip
+    }
+
+    #[test]
+    fn crc_corruption_detected() {
+        let vars = vec![VarRecord::new("u", VarData::F64(vec![1.0, 2.0]))];
+        let mut ser = serialize(&vars, &[VarPlan::Full]).unwrap();
+        let mid = ser.data.len() / 2;
+        ser.data[mid] ^= 0xFF;
+        assert!(matches!(
+            Checkpoint::from_bytes(&ser.data, &ser.aux),
+            Err(CkptError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let vars = vec![VarRecord::new("u", VarData::F64(vec![1.0, 2.0]))];
+        let ser = serialize(&vars, &[VarPlan::Full]).unwrap();
+        let cut = &ser.data[..ser.data.len() - 10];
+        assert!(Checkpoint::from_bytes(cut, &ser.aux).is_err());
+    }
+
+    #[test]
+    fn missing_var_reported() {
+        let vars = vec![VarRecord::new("u", VarData::F64(vec![1.0]))];
+        let ck = roundtrip(&vars, &[VarPlan::Full]);
+        assert!(matches!(ck.var("nope"), Err(CkptError::MissingVar(_))));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let vars = vec![VarRecord::new("u", VarData::F64(vec![1.0]))];
+        let ser = serialize(&vars, &[VarPlan::Full]).unwrap();
+        assert!(Checkpoint::from_bytes(&ser.aux, &ser.aux).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Versioned checkpoint store: the operational wrapper HPC users expect
+//! ("save several versions of checkpoint files to make the data more
+//! durable" — paper §II.A), with keep-last-k retention.
+
+use crate::format::{CkptError, StorageBreakdown, VarPlan, VarRecord};
+use crate::reader::Checkpoint;
+use crate::writer::{file_names, write_checkpoint};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory of numbered checkpoints with bounded retention.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    next_version: u64,
+}
+
+impl CheckpointStore {
+    /// Open (or create) a store; keeps at most `keep` newest checkpoints.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, CkptError> {
+        assert!(keep >= 1, "a store must retain at least one checkpoint");
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let next_version = Self::scan_versions(&dir)?.last().map_or(0, |v| v + 1);
+        Ok(CheckpointStore { dir, keep, next_version })
+    }
+
+    fn scan_versions(dir: &Path) -> Result<Vec<u64>, CkptError> {
+        let mut versions = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix("ckpt_").and_then(|s| s.strip_suffix(".data")) {
+                if let Ok(v) = num.parse::<u64>() {
+                    versions.push(v);
+                }
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// Directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Write the next checkpoint version; prunes old versions beyond the
+    /// retention limit. Returns `(version, storage)`.
+    pub fn save(
+        &mut self,
+        vars: &[VarRecord],
+        plans: &[VarPlan],
+    ) -> Result<(u64, StorageBreakdown), CkptError> {
+        let version = self.next_version;
+        let breakdown = write_checkpoint(&self.dir, version, vars, plans)?;
+        self.next_version += 1;
+        self.prune()?;
+        Ok((version, breakdown))
+    }
+
+    fn prune(&self) -> Result<(), CkptError> {
+        let versions = Self::scan_versions(&self.dir)?;
+        if versions.len() > self.keep {
+            for &v in &versions[..versions.len() - self.keep] {
+                let (d, a) = file_names(&self.dir, v);
+                let _ = fs::remove_file(d);
+                let _ = fs::remove_file(a);
+            }
+        }
+        Ok(())
+    }
+
+    /// Versions currently on disk, oldest first.
+    pub fn versions(&self) -> Result<Vec<u64>, CkptError> {
+        Self::scan_versions(&self.dir)
+    }
+
+    /// Newest version, if any checkpoint exists.
+    pub fn latest(&self) -> Result<Option<u64>, CkptError> {
+        Ok(Self::scan_versions(&self.dir)?.last().copied())
+    }
+
+    /// Load a specific version.
+    pub fn load(&self, version: u64) -> Result<Checkpoint, CkptError> {
+        Checkpoint::load(&self.dir, version)
+    }
+
+    /// Load the newest checkpoint (the restart path after a failure).
+    pub fn load_latest(&self) -> Result<Checkpoint, CkptError> {
+        let v = self
+            .latest()?
+            .ok_or_else(|| CkptError::Corrupt("store holds no checkpoints".into()))?;
+        self.load(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FillPolicy, VarData};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("scrutiny_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn var(v: f64) -> Vec<VarRecord> {
+        vec![VarRecord::new("x", VarData::F64(vec![v; 4]))]
+    }
+
+    #[test]
+    fn save_load_latest() {
+        let dir = tmpdir("sll");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        for i in 0..3 {
+            store.save(&var(i as f64), &[VarPlan::Full]).unwrap();
+        }
+        let ck = store.load_latest().unwrap();
+        let x = ck.var("x").unwrap().materialize_f64(FillPolicy::Zero).unwrap();
+        assert_eq!(x, vec![2.0; 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_old_versions() {
+        let dir = tmpdir("ret");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        for i in 0..5 {
+            store.save(&var(i as f64), &[VarPlan::Full]).unwrap();
+        }
+        assert_eq!(store.versions().unwrap(), vec![3, 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_numbering() {
+        let dir = tmpdir("reopen");
+        {
+            let mut store = CheckpointStore::open(&dir, 5).unwrap();
+            store.save(&var(1.0), &[VarPlan::Full]).unwrap();
+        }
+        let mut store = CheckpointStore::open(&dir, 5).unwrap();
+        let (v, _) = store.save(&var(2.0), &[VarPlan::Full]).unwrap();
+        assert_eq!(v, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_latest_is_none() {
+        let dir = tmpdir("empty");
+        let store = CheckpointStore::open(&dir, 1).unwrap();
+        assert_eq!(store.latest().unwrap(), None);
+        assert!(store.load_latest().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,341 @@
+//! Checkpoint serialization: data file + auxiliary region file.
+//!
+//! Layout (all little-endian, lengths explicit, CRC-32 trailer):
+//!
+//! ```text
+//! data file: "SCRUTCKP" | version u32 | nvars u32
+//!            per var: name_len u16 | name | dtype u8 | mode u8 | total u64
+//!                     Full/Pruned: count u64 | raw elements
+//!                     Tiered:      hi u64 | f64 elems | lo u64 | f32 elems
+//!            crc32 u32
+//! aux file:  "SCRUTAUX" | version u32 | nvars u32
+//!            per var: name_len u16 | name | mode u8
+//!                     Pruned: nruns u64 | (start u64, end u64)*
+//!                     Tiered: hi nruns+runs | lo nruns+runs
+//!            crc32 u32
+//! ```
+//!
+//! The auxiliary file is exactly the paper's §III.B structure: start/end of
+//! every contiguous critical region, so restart can place each stored
+//! element at its original offset.
+
+use crate::format::{crc32, CkptError, StorageBreakdown, VarData, VarPlan, VarRecord};
+use crate::Regions;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const DATA_MAGIC: &[u8; 8] = b"SCRUTCKP";
+const AUX_MAGIC: &[u8; 8] = b"SCRUTAUX";
+const FORMAT_VERSION: u32 = 1;
+
+pub(crate) const MODE_FULL: u8 = 0;
+pub(crate) const MODE_PRUNED: u8 = 1;
+pub(crate) const MODE_TIERED: u8 = 2;
+
+/// A fully serialized checkpoint (both files) plus byte accounting.
+pub struct SerializedCheckpoint {
+    /// The data file bytes.
+    pub data: Vec<u8>,
+    /// The auxiliary (region table) file bytes.
+    pub aux: Vec<u8>,
+    /// Byte-exact breakdown for storage reports (Table III).
+    pub breakdown: StorageBreakdown,
+}
+
+fn plan_mode(plan: &VarPlan) -> u8 {
+    match plan {
+        VarPlan::Full => MODE_FULL,
+        VarPlan::Pruned(_) => MODE_PRUNED,
+        VarPlan::Tiered { .. } => MODE_TIERED,
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_runs(out: &mut Vec<u8>, regions: &Regions) -> usize {
+    put_u64(out, regions.run_count() as u64);
+    for r in regions.runs() {
+        put_u64(out, r.start);
+        put_u64(out, r.end);
+    }
+    regions.run_count() * 16
+}
+
+fn validate(vars: &[VarRecord], plans: &[VarPlan]) -> Result<(), CkptError> {
+    if vars.len() != plans.len() {
+        return Err(CkptError::PlanMismatch(format!(
+            "{} variables but {} plans",
+            vars.len(),
+            plans.len()
+        )));
+    }
+    for (v, p) in vars.iter().zip(plans) {
+        let total = v.data.len() as u64;
+        match p {
+            VarPlan::Full => {}
+            VarPlan::Pruned(r) => {
+                if let Some(last) = r.runs().last() {
+                    if last.end > total {
+                        return Err(CkptError::PlanMismatch(format!(
+                            "regions for {:?} end at {} but the variable has {} elements",
+                            v.name, last.end, total
+                        )));
+                    }
+                }
+            }
+            VarPlan::Tiered { hi, lo } => {
+                if v.data.dtype() != crate::DType::F64 {
+                    return Err(CkptError::PlanMismatch(format!(
+                        "tiered plan requires an f64 variable, {:?} is {:?}",
+                        v.name,
+                        v.data.dtype()
+                    )));
+                }
+                if !hi.intersect(lo).is_empty() {
+                    return Err(CkptError::PlanMismatch(format!(
+                        "tiered plan for {:?} has overlapping hi/lo regions",
+                        v.name
+                    )));
+                }
+                for (which, r) in [("hi", hi), ("lo", lo)] {
+                    if let Some(last) = r.runs().last() {
+                        if last.end > total {
+                            return Err(CkptError::PlanMismatch(format!(
+                                "{which} regions for {:?} exceed its {} elements",
+                                v.name, total
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialize the data file; returns `(bytes, payload_bytes)`.
+pub fn serialize_data(vars: &[VarRecord], plans: &[VarPlan]) -> Result<(Vec<u8>, usize), CkptError> {
+    validate(vars, plans)?;
+    let mut out = Vec::new();
+    out.extend_from_slice(DATA_MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, vars.len() as u32);
+    let mut payload = 0usize;
+    for (v, p) in vars.iter().zip(plans) {
+        let name = v.name.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "variable name too long");
+        put_u16(&mut out, name.len() as u16);
+        out.extend_from_slice(name);
+        out.push(v.data.dtype().tag());
+        out.push(plan_mode(p));
+        put_u64(&mut out, v.data.len() as u64);
+        match p {
+            VarPlan::Full => {
+                let n = v.data.len();
+                put_u64(&mut out, n as u64);
+                payload += write_elements(&mut out, &v.data, (0..n as u64).collect::<Vec<_>>().iter().copied());
+            }
+            VarPlan::Pruned(r) => {
+                put_u64(&mut out, r.covered());
+                payload += write_elements(&mut out, &v.data, r.indices());
+            }
+            VarPlan::Tiered { hi, lo } => {
+                let VarData::F64(ref vals) = v.data else { unreachable!("validated above") };
+                put_u64(&mut out, hi.covered());
+                for i in hi.indices() {
+                    out.extend_from_slice(&vals[i as usize].to_le_bytes());
+                    payload += 8;
+                }
+                put_u64(&mut out, lo.covered());
+                for i in lo.indices() {
+                    out.extend_from_slice(&(vals[i as usize] as f32).to_le_bytes());
+                    payload += 4;
+                }
+            }
+        }
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    Ok((out, payload))
+}
+
+fn write_elements(out: &mut Vec<u8>, data: &VarData, indices: impl Iterator<Item = u64>) -> usize {
+    let mut bytes = 0;
+    match data {
+        VarData::F64(v) => {
+            for i in indices {
+                out.extend_from_slice(&v[i as usize].to_le_bytes());
+                bytes += 8;
+            }
+        }
+        VarData::C128(v) => {
+            for i in indices {
+                let (re, im) = v[i as usize];
+                out.extend_from_slice(&re.to_le_bytes());
+                out.extend_from_slice(&im.to_le_bytes());
+                bytes += 16;
+            }
+        }
+        VarData::I64(v) => {
+            for i in indices {
+                out.extend_from_slice(&v[i as usize].to_le_bytes());
+                bytes += 8;
+            }
+        }
+    }
+    bytes
+}
+
+/// Serialize the auxiliary region file; returns `(bytes, region_pair_bytes)`.
+pub fn serialize_aux(vars: &[VarRecord], plans: &[VarPlan]) -> (Vec<u8>, usize) {
+    let mut out = Vec::new();
+    out.extend_from_slice(AUX_MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, vars.len() as u32);
+    let mut pair_bytes = 0usize;
+    for (v, p) in vars.iter().zip(plans) {
+        let name = v.name.as_bytes();
+        put_u16(&mut out, name.len() as u16);
+        out.extend_from_slice(name);
+        out.push(plan_mode(p));
+        match p {
+            VarPlan::Full => {}
+            VarPlan::Pruned(r) => pair_bytes += put_runs(&mut out, r),
+            VarPlan::Tiered { hi, lo } => {
+                pair_bytes += put_runs(&mut out, hi);
+                pair_bytes += put_runs(&mut out, lo);
+            }
+        }
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    (out, pair_bytes)
+}
+
+/// Serialize both files with storage accounting.
+pub fn serialize(vars: &[VarRecord], plans: &[VarPlan]) -> Result<SerializedCheckpoint, CkptError> {
+    let (data, payload_bytes) = serialize_data(vars, plans)?;
+    let (aux, pair_bytes) = serialize_aux(vars, plans);
+    let header_bytes = data.len() - payload_bytes + (aux.len() - pair_bytes);
+    Ok(SerializedCheckpoint {
+        breakdown: StorageBreakdown { payload_bytes, aux_bytes: pair_bytes, header_bytes },
+        data,
+        aux,
+    })
+}
+
+/// File names used for checkpoint `version` inside a store directory.
+pub fn file_names(dir: &Path, version: u64) -> (PathBuf, PathBuf) {
+    (
+        dir.join(format!("ckpt_{version:06}.data")),
+        dir.join(format!("ckpt_{version:06}.aux")),
+    )
+}
+
+/// Write checkpoint `version` (data + aux files) into `dir`.
+pub fn write_checkpoint(
+    dir: &Path,
+    version: u64,
+    vars: &[VarRecord],
+    plans: &[VarPlan],
+) -> Result<StorageBreakdown, CkptError> {
+    let ser = serialize(vars, plans)?;
+    fs::create_dir_all(dir)?;
+    let (data_path, aux_path) = file_names(dir, version);
+    // Write-then-rename so a crash mid-write never leaves a checkpoint that
+    // parses: the reader only ever sees complete files.
+    let tmp_data = data_path.with_extension("data.tmp");
+    let tmp_aux = aux_path.with_extension("aux.tmp");
+    fs::write(&tmp_data, &ser.data)?;
+    fs::write(&tmp_aux, &ser.aux)?;
+    fs::rename(&tmp_data, &data_path)?;
+    fs::rename(&tmp_aux, &aux_path)?;
+    Ok(ser.breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bitmap, DType};
+
+    fn sample_vars() -> Vec<VarRecord> {
+        vec![
+            VarRecord::new("u", VarData::F64((0..20).map(f64::from).collect())),
+            VarRecord::new("y", VarData::C128(vec![(1.0, -1.0), (2.0, -2.0)])),
+            VarRecord::new("step", VarData::I64(vec![7])),
+        ]
+    }
+
+    #[test]
+    fn full_plan_payload_bytes() {
+        let vars = sample_vars();
+        let plans = vec![VarPlan::Full, VarPlan::Full, VarPlan::Full];
+        let ser = serialize(&vars, &plans).unwrap();
+        assert_eq!(ser.breakdown.payload_bytes, 20 * 8 + 2 * 16 + 8);
+        assert_eq!(ser.breakdown.aux_bytes, 0);
+        assert!(ser.breakdown.header_bytes > 0);
+    }
+
+    #[test]
+    fn pruned_plan_stores_fewer_bytes() {
+        let vars = sample_vars();
+        let crit = Bitmap::from_fn(20, |i| i < 15);
+        let plans = vec![
+            VarPlan::Pruned(Regions::from_bitmap(&crit)),
+            VarPlan::Full,
+            VarPlan::Full,
+        ];
+        let ser = serialize(&vars, &plans).unwrap();
+        assert_eq!(ser.breakdown.payload_bytes, 15 * 8 + 2 * 16 + 8);
+        assert_eq!(ser.breakdown.aux_bytes, 16); // one region pair
+    }
+
+    #[test]
+    fn tiered_requires_f64() {
+        let vars = vec![VarRecord::new("y", VarData::C128(vec![(0.0, 0.0)]))];
+        let plans = vec![VarPlan::Tiered { hi: Regions::all(1), lo: Regions::empty() }];
+        assert!(matches!(
+            serialize(&vars, &plans),
+            Err(CkptError::PlanMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn plan_count_mismatch_rejected() {
+        let vars = sample_vars();
+        assert!(serialize(&vars, &[VarPlan::Full]).is_err());
+    }
+
+    #[test]
+    fn regions_out_of_bounds_rejected() {
+        let vars = vec![VarRecord::new("u", VarData::F64(vec![0.0; 4]))];
+        let plans = vec![VarPlan::Pruned(Regions::all(9))];
+        assert!(serialize(&vars, &plans).is_err());
+    }
+
+    #[test]
+    fn write_creates_both_files() {
+        let dir = std::env::temp_dir().join(format!("scrutiny_ckpt_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let vars = sample_vars();
+        let plans = vec![VarPlan::Full, VarPlan::Full, VarPlan::Full];
+        let bd = write_checkpoint(&dir, 3, &vars, &plans).unwrap();
+        let (d, a) = file_names(&dir, 3);
+        assert_eq!(fs::metadata(&d).unwrap().len() as usize + fs::metadata(&a).unwrap().len() as usize, bd.total());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dtype_sizes_consistent() {
+        assert_eq!(DType::F64.elem_bytes(), 8);
+        assert_eq!(DType::C128.elem_bytes(), 16);
+    }
+}

@@ -1,0 +1,262 @@
+//! The scrutinizer: one AD run + one reverse sweep ⇒ per-element
+//! criticality for every checkpoint variable.
+
+use crate::app::ScrutinyApp;
+use crate::site::LeafSite;
+use crate::spec::{AppSpec, VarSpec};
+use scrutiny_ad::tape::TapeStats;
+use scrutiny_ad::TapeSession;
+use scrutiny_ckpt::{Bitmap, DType, Regions};
+use std::time::Instant;
+
+/// Criticality classification of one checkpoint variable.
+pub struct VarCriticality {
+    /// The variable's spec (name, dtype, shape).
+    pub spec: VarSpec,
+    /// Value criticality: bit set ⇔ `∂output/∂element ≠ 0` (the paper's
+    /// criterion). Integer variables are control state: always critical.
+    pub value_map: Bitmap,
+    /// Structural criticality: bit set ⇔ a data-flow path reaches the
+    /// output (superset of `value_map`).
+    pub structural_map: Bitmap,
+    /// Per-element gradient magnitude (max over components for complex;
+    /// `+∞` for integer control state). Drives precision tiering.
+    pub grad_mag: Vec<f64>,
+}
+
+impl VarCriticality {
+    /// Total elements.
+    pub fn total(&self) -> usize {
+        self.value_map.len()
+    }
+
+    /// Uncritical element count under the value criterion (Table II).
+    pub fn uncritical(&self) -> usize {
+        self.value_map.count_zeros()
+    }
+
+    /// Critical element count under the value criterion.
+    pub fn critical(&self) -> usize {
+        self.value_map.count_ones()
+    }
+
+    /// Uncritical rate (Table II's last column).
+    pub fn uncritical_rate(&self) -> f64 {
+        self.value_map.uncritical_rate()
+    }
+
+    /// Critical regions (the auxiliary-file form) under the value
+    /// criterion.
+    pub fn regions(&self) -> Regions {
+        Regions::from_bitmap(&self.value_map)
+    }
+
+    /// Elements where the two analyses disagree (structurally reachable
+    /// but value-gradient exactly zero).
+    pub fn cancellation_only(&self) -> Vec<usize> {
+        self.structural_map.diff_indices(&self.value_map)
+    }
+}
+
+/// Everything the analysis learned about one application.
+pub struct AnalysisReport {
+    /// The application's checkpoint spec.
+    pub app: AppSpec,
+    /// Iteration at whose boundary the analysis checkpoint was placed.
+    pub ckpt_iter: usize,
+    /// Primal output value of the AD run.
+    pub output_value: f64,
+    /// Size of the recorded tape.
+    pub tape_stats: TapeStats,
+    /// Wall-clock seconds for record + sweeps.
+    pub analysis_seconds: f64,
+    /// Per-variable criticality, in spec order.
+    pub vars: Vec<VarCriticality>,
+}
+
+impl AnalysisReport {
+    /// Look up one variable's criticality by name.
+    pub fn var(&self, name: &str) -> Option<&VarCriticality> {
+        self.vars.iter().find(|v| v.spec.name == name)
+    }
+
+    /// Aggregate uncritical elements across all variables.
+    pub fn total_uncritical(&self) -> usize {
+        self.vars.iter().map(VarCriticality::uncritical).sum()
+    }
+
+    /// Aggregate elements across all variables.
+    pub fn total_elems(&self) -> usize {
+        self.vars.iter().map(VarCriticality::total).sum()
+    }
+}
+
+/// Scrutinize every element of every checkpoint variable of `app`.
+///
+/// Runs the application once under AD with leaves injected at the
+/// checkpoint boundary, then performs the reverse value sweep and the
+/// structural sweep. See the crate docs for the method.
+pub fn scrutinize(app: &dyn ScrutinyApp) -> AnalysisReport {
+    scrutinize_with_capacity(app, app.tape_capacity_hint())
+}
+
+/// [`scrutinize`] with an explicit tape capacity (nodes).
+pub fn scrutinize_with_capacity(app: &dyn ScrutinyApp, capacity: usize) -> AnalysisReport {
+    let spec = app.spec();
+    let t0 = Instant::now();
+
+    let session = TapeSession::with_capacity(capacity);
+    let mut site = LeafSite::new();
+    let outcome = app.run_ad(&mut site);
+    let tape = session.finish();
+    let ckpt_iter = site
+        .iter
+        .expect("the application never reached its checkpoint boundary");
+    assert_eq!(
+        site.ranges.len(),
+        spec.vars.len(),
+        "checkpoint site saw {} variables but the spec declares {}",
+        site.ranges.len(),
+        spec.vars.len()
+    );
+
+    let grads = tape.gradient(outcome.output);
+    let reach = tape.reachable(outcome.output);
+
+    let mut vars = Vec::with_capacity(spec.vars.len());
+    for (vspec, range) in spec.vars.iter().zip(&site.ranges) {
+        assert_eq!(
+            vspec.elems(),
+            range.elems,
+            "variable {:?}: spec says {} elements, site saw {}",
+            vspec.name,
+            vspec.elems(),
+            range.elems
+        );
+        let n = range.elems;
+        let (value_map, structural_map, grad_mag) = match vspec.dtype {
+            DType::I64 => {
+                // Control state: the paper classifies loop indices and sort
+                // keys as critical by definition (they steer execution).
+                (Bitmap::full(n), Bitmap::full(n), vec![f64::INFINITY; n])
+            }
+            DType::F64 => {
+                let start = range.start as usize;
+                let mut vm = Bitmap::new(n);
+                let mut sm = Bitmap::new(n);
+                let mut gm = vec![0.0; n];
+                for i in 0..n {
+                    let g = grads.of_node((start + i) as u32);
+                    gm[i] = g.abs();
+                    if g != 0.0 {
+                        vm.set(i, true);
+                    }
+                    if reach[start + i] {
+                        sm.set(i, true);
+                    }
+                }
+                (vm, sm, gm)
+            }
+            DType::C128 => {
+                let start = range.start as usize;
+                let mut vm = Bitmap::new(n);
+                let mut sm = Bitmap::new(n);
+                let mut gm = vec![0.0; n];
+                for i in 0..n {
+                    let gre = grads.of_node((start + 2 * i) as u32);
+                    let gim = grads.of_node((start + 2 * i + 1) as u32);
+                    gm[i] = gre.abs().max(gim.abs());
+                    if gre != 0.0 || gim != 0.0 {
+                        vm.set(i, true);
+                    }
+                    if reach[start + 2 * i] || reach[start + 2 * i + 1] {
+                        sm.set(i, true);
+                    }
+                }
+                (vm, sm, gm)
+            }
+        };
+        vars.push(VarCriticality {
+            spec: vspec.clone(),
+            value_map,
+            structural_map,
+            grad_mag,
+        });
+    }
+
+    AnalysisReport {
+        app: spec,
+        ckpt_iter,
+        output_value: outcome.output.value(),
+        tape_stats: tape.stats(),
+        analysis_seconds: t0.elapsed().as_secs_f64(),
+        vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiny::Heat1d;
+
+    #[test]
+    fn heat1d_criticality_matches_construction() {
+        let app = Heat1d::new(16, 8, 4);
+        let report = scrutinize(&app);
+        // temp: interior + both boundary cells read; the 2 tail pad cells
+        // are never read.
+        let temp = report.var("temp").unwrap();
+        assert_eq!(temp.total(), 16 + 2 + 2);
+        assert_eq!(temp.uncritical(), 2);
+        assert!(!temp.value_map.get(18));
+        assert!(!temp.value_map.get(19));
+        // workspace: overwritten each step before any read => uncritical.
+        let ws = report.var("workspace").unwrap();
+        assert_eq!(ws.uncritical(), ws.total());
+        // step index is control state.
+        let it = report.var("it").unwrap();
+        assert_eq!(it.uncritical(), 0);
+    }
+
+    #[test]
+    fn structural_map_is_superset() {
+        let app = Heat1d::new(12, 6, 3);
+        let report = scrutinize(&app);
+        for v in &report.vars {
+            for i in 0..v.total() {
+                if v.value_map.get(i) {
+                    assert!(
+                        v.structural_map.get(i),
+                        "{}[{}] value-critical but not structural",
+                        v.spec.name,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let app = Heat1d::new(8, 4, 2);
+        let report = scrutinize(&app);
+        assert_eq!(report.ckpt_iter, 2);
+        assert_eq!(
+            report.total_elems(),
+            report.vars.iter().map(|v| v.total()).sum::<usize>()
+        );
+        assert!(report.tape_stats.nodes > 0);
+        assert!(report.output_value.is_finite());
+    }
+
+    #[test]
+    fn criticality_independent_of_checkpoint_position() {
+        // The access pattern is iteration-invariant, so the maps must not
+        // depend on where the checkpoint lands (mirrors the NPB reality).
+        let a = scrutinize(&Heat1d::new(16, 8, 2));
+        let b = scrutinize(&Heat1d::new(16, 8, 6));
+        for (va, vb) in a.vars.iter().zip(&b.vars) {
+            assert_eq!(va.value_map, vb.value_map, "map for {}", va.spec.name);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The application contract for scrutiny analysis.
+
+use crate::site::CkptSite;
+use crate::spec::AppSpec;
+use scrutiny_ad::Adj;
+
+/// Result of one application run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome<R> {
+    /// The scalar the application's own verification inspects — the
+    /// "output" whose derivative defines criticality (paper §III.A).
+    pub output: R,
+}
+
+/// An application whose checkpoint variables can be scrutinized.
+///
+/// The two run methods must execute the *same* computation (implementations
+/// typically delegate to one generic function). Both call the site exactly
+/// once, at the iteration returned by [`ScrutinyApp::checkpoint_iter`],
+/// presenting the checkpoint variables in [`AppSpec`] order.
+pub trait ScrutinyApp {
+    /// Name, class and checkpoint variables (the paper's Table I row).
+    fn spec(&self) -> AppSpec;
+
+    /// Main-loop iteration at whose boundary the checkpoint is taken.
+    fn checkpoint_iter(&self) -> usize;
+
+    /// Native run (golden, capture and restart paths).
+    fn run_f64(&self, site: &mut dyn CkptSite<f64>) -> RunOutcome<f64>;
+
+    /// Recording run for the AD analysis. Must follow the identical code
+    /// path as [`ScrutinyApp::run_f64`] (same control flow for the same
+    /// state), instantiated with the tape scalar.
+    fn run_ad(&self, site: &mut dyn CkptSite<Adj>) -> RunOutcome<Adj>;
+
+    /// Tape-node capacity hint for the AD run (pre-reserves the tape).
+    fn tape_capacity_hint(&self) -> usize {
+        1 << 20
+    }
+
+    /// Relative tolerance when comparing a restarted output against the
+    /// golden output (the application's own "verification").
+    fn tolerance(&self) -> f64 {
+        1e-9
+    }
+}

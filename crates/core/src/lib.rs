@@ -1,0 +1,52 @@
+//! # scrutiny-core — AD-driven scrutiny of checkpoint variables
+//!
+//! The primary contribution of *"Scrutinizing Variables for Checkpoint
+//! Using Automatic Differentiation"* (SC 2024), as a reusable library.
+//!
+//! An HPC application declares its checkpoint variables (the paper's
+//! Table I) and exposes its main computation generically over a
+//! differentiable scalar. This crate then:
+//!
+//! 1. **Scrutinizes** every element ([`scrutinize`]): an AD run converts
+//!    each checkpointed element into a tape leaf at the checkpoint
+//!    boundary; one reverse sweep yields `∂output/∂element` for all of
+//!    them. Zero derivative ⇒ *uncritical* (paper §III.A). A structural
+//!    reachability sweep provides a second, value-independent criterion.
+//! 2. **Plans** storage ([`plan::plans_for`]): criticality bitmaps become
+//!    run-length regions (the auxiliary file), optionally precision-tiered
+//!    by gradient magnitude (paper §VII future work).
+//! 3. **Verifies by restart** ([`restart::checkpoint_restart_cycle`]): a
+//!    pruned checkpoint is written, restored with garbage in the holes,
+//!    and the run must reproduce the uninterrupted ("golden") output —
+//!    the paper's §IV.C experiment.
+//!
+//! ## Writing an application
+//!
+//! Implement [`ScrutinyApp`] by exposing the same generic run for
+//! `R = f64` and `R = Adj`, calling the [`CkptSite`] exactly once at the
+//! checkpoint boundary with mutable views of every checkpoint variable.
+//! See [`tiny::Heat1d`] for a complete minimal example, and the
+//! `scrutiny-npb` crate for the eight NPB ports used in the paper.
+
+pub mod analysis;
+pub mod app;
+pub mod plan;
+pub mod report;
+pub mod restart;
+pub mod site;
+pub mod spec;
+pub mod tiny;
+
+pub use analysis::{scrutinize, scrutinize_with_capacity, AnalysisReport, VarCriticality};
+pub use app::{RunOutcome, ScrutinyApp};
+pub use plan::Policy;
+pub use report::{
+    format_table1, format_table2, format_table3, table2_rows, table3_row, Table2Row, Table3Row,
+};
+pub use restart::{checkpoint_restart_cycle, RestartConfig, RestartReport};
+pub use site::{CaptureSite, CkptSite, LeafSite, RestoreSite, VarRefMut};
+pub use spec::{AppSpec, VarSpec};
+
+// Re-export the scalar abstraction so applications depend on one crate.
+pub use scrutiny_ad::{Adj, Cplx, Dual, Real};
+pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};

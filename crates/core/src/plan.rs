@@ -1,0 +1,141 @@
+//! Storage planning: criticality maps → per-variable checkpoint plans.
+
+use crate::analysis::AnalysisReport;
+use scrutiny_ckpt::{Bitmap, DType, Regions, VarPlan};
+
+/// How to turn criticality into storage decisions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Policy {
+    /// Store everything (the baseline of Table III's "Original" column).
+    Full,
+    /// Drop elements whose output derivative is exactly zero — the
+    /// paper's method (Table III's "Optimized" column).
+    PrunedValue,
+    /// Drop only elements with no structural data-flow path to the output
+    /// (conservative w.r.t. value cancellation).
+    PrunedStructural,
+    /// Precision tiering (paper §VII): keep f64 where `|∂out/∂e| ≥ hi`,
+    /// downcast to f32 where `0 < |∂out/∂e| < hi`, drop where zero.
+    Tiered {
+        /// Gradient-magnitude threshold separating f64 from f32 storage.
+        hi_threshold: f64,
+    },
+}
+
+/// Produce one [`VarPlan`] per checkpoint variable under `policy`.
+///
+/// Integer control state is always stored fully: the paper classifies
+/// loop indices and index arrays as critical by definition, and they are
+/// a negligible fraction of checkpoint bytes.
+pub fn plans_for(report: &AnalysisReport, policy: Policy) -> Vec<VarPlan> {
+    report
+        .vars
+        .iter()
+        .map(|v| {
+            if v.spec.dtype == DType::I64 {
+                return VarPlan::Full;
+            }
+            match policy {
+                Policy::Full => VarPlan::Full,
+                Policy::PrunedValue => VarPlan::Pruned(Regions::from_bitmap(&v.value_map)),
+                Policy::PrunedStructural => {
+                    VarPlan::Pruned(Regions::from_bitmap(&v.structural_map))
+                }
+                Policy::Tiered { hi_threshold } => {
+                    if v.spec.dtype == DType::C128 {
+                        // Mixed-precision complex storage is not supported;
+                        // fall back to the paper's pruning.
+                        return VarPlan::Pruned(Regions::from_bitmap(&v.value_map));
+                    }
+                    let n = v.total();
+                    let hi = Bitmap::from_fn(n, |i| v.grad_mag[i] >= hi_threshold);
+                    let lo = Bitmap::from_fn(n, |i| {
+                        v.grad_mag[i] > 0.0 && v.grad_mag[i] < hi_threshold
+                    });
+                    VarPlan::Tiered {
+                        hi: Regions::from_bitmap(&hi),
+                        lo: Regions::from_bitmap(&lo),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::scrutinize;
+    use crate::tiny::Heat1d;
+
+    fn report() -> AnalysisReport {
+        scrutinize(&Heat1d::new(16, 8, 4))
+    }
+
+    #[test]
+    fn full_policy_stores_everything() {
+        let r = report();
+        let plans = plans_for(&r, Policy::Full);
+        assert!(plans.iter().all(|p| matches!(p, VarPlan::Full)));
+    }
+
+    #[test]
+    fn pruned_value_drops_uncritical() {
+        let r = report();
+        let plans = plans_for(&r, Policy::PrunedValue);
+        // temp: 18 of 20 critical.
+        let VarPlan::Pruned(ref regions) = plans[0] else {
+            panic!("expected pruned plan for temp")
+        };
+        assert_eq!(regions.covered(), 18);
+        // workspace: nothing critical.
+        let VarPlan::Pruned(ref regions) = plans[1] else {
+            panic!("expected pruned plan for workspace")
+        };
+        assert_eq!(regions.covered(), 0);
+        // integer state is always full.
+        assert!(matches!(plans[2], VarPlan::Full));
+    }
+
+    #[test]
+    fn structural_is_no_smaller_than_value() {
+        let r = report();
+        let pv = plans_for(&r, Policy::PrunedValue);
+        let ps = plans_for(&r, Policy::PrunedStructural);
+        for (a, b) in pv.iter().zip(&ps) {
+            if let (VarPlan::Pruned(ra), VarPlan::Pruned(rb)) = (a, b) {
+                assert!(rb.covered() >= ra.covered());
+            }
+        }
+    }
+
+    #[test]
+    fn tiered_partitions_critical_elements() {
+        let r = report();
+        let plans = plans_for(&r, Policy::Tiered { hi_threshold: 0.5 });
+        let VarPlan::Tiered { ref hi, ref lo } = plans[0] else {
+            panic!("expected tiered plan for temp")
+        };
+        let crit = match &plans_for(&r, Policy::PrunedValue)[0] {
+            VarPlan::Pruned(p) => p.covered(),
+            _ => unreachable!(),
+        };
+        assert_eq!(hi.covered() + lo.covered(), crit);
+        assert!(hi.intersect(lo).is_empty());
+    }
+
+    #[test]
+    fn tiered_threshold_extremes() {
+        let r = report();
+        // Threshold 0: everything critical lands in hi.
+        let plans = plans_for(&r, Policy::Tiered { hi_threshold: 0.0 });
+        let VarPlan::Tiered { ref hi, ref lo } = plans[0] else { panic!() };
+        assert!(lo.is_empty());
+        assert!(hi.covered() > 0);
+        // Huge threshold: everything critical lands in lo.
+        let plans = plans_for(&r, Policy::Tiered { hi_threshold: 1e300 });
+        let VarPlan::Tiered { ref hi, ref lo } = plans[0] else { panic!() };
+        assert!(hi.is_empty());
+        assert!(lo.covered() > 0);
+    }
+}

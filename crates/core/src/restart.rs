@@ -1,0 +1,256 @@
+//! Checkpoint → failure → restart, end to end (the paper's §IV.C).
+//!
+//! The cycle: run to the checkpoint boundary, write a (pruned) checkpoint,
+//! "fail", restore — placing stored elements at their recorded offsets and
+//! filling the pruned holes with garbage — and run to completion. The
+//! restarted output must match the uninterrupted golden output within the
+//! application's own tolerance; that passing is precisely how the paper
+//! validates the AD classification.
+
+use crate::analysis::AnalysisReport;
+use crate::app::ScrutinyApp;
+use crate::plan::{plans_for, Policy};
+use crate::site::{CaptureSite, NoopSite, RestoreSite};
+use scrutiny_ckpt::writer::serialize;
+use scrutiny_ckpt::{
+    Checkpoint, CheckpointStore, CkptError, DType, FillPolicy, StorageBreakdown, VarData,
+    VarPlan, VarRecord,
+};
+use std::path::PathBuf;
+
+/// Configuration of a restart experiment.
+#[derive(Clone, Debug)]
+pub struct RestartConfig {
+    /// Storage policy for the checkpoint under test.
+    pub policy: Policy,
+    /// Fill for elements the checkpoint did not store.
+    pub fill: FillPolicy,
+    /// When set, the checkpoint round-trips through files in this
+    /// directory (via [`CheckpointStore`]); otherwise through memory.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        RestartConfig {
+            policy: Policy::PrunedValue,
+            fill: FillPolicy::Garbage(0x5EED),
+            store_dir: None,
+        }
+    }
+}
+
+/// Outcome of one checkpoint/restart cycle.
+#[derive(Clone, Debug)]
+pub struct RestartReport {
+    /// Output of the uninterrupted run.
+    pub golden: f64,
+    /// Output of the restarted run.
+    pub restarted: f64,
+    /// |restarted − golden|.
+    pub abs_err: f64,
+    /// Relative error against max(1, |golden|).
+    pub rel_err: f64,
+    /// Did the restarted run reproduce the golden output within the
+    /// application's tolerance? (The benchmark's "verification".)
+    pub verified: bool,
+    /// Storage of the checkpoint under test.
+    pub storage: StorageBreakdown,
+    /// Storage of the full (baseline) checkpoint of the same state.
+    pub full_storage: StorageBreakdown,
+}
+
+/// Capture the checkpoint state of `app` as named records.
+pub fn capture_state(app: &dyn ScrutinyApp) -> Vec<VarRecord> {
+    let spec = app.spec();
+    let mut site = CaptureSite::new();
+    app.run_f64(&mut site);
+    assert_eq!(
+        site.vars.len(),
+        spec.vars.len(),
+        "capture saw {} variables, spec declares {}",
+        site.vars.len(),
+        spec.vars.len()
+    );
+    spec.vars
+        .iter()
+        .zip(site.vars)
+        .map(|(vs, data)| VarRecord::new(vs.name.clone(), data))
+        .collect()
+}
+
+/// Run the full cycle; `mutate` may corrupt the restored buffers before
+/// the restart (fault injection). Pass a no-op closure for a clean cycle.
+pub fn restart_with_mutation(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    cfg: &RestartConfig,
+    mutate: impl FnOnce(&mut [VarData], &AnalysisReport),
+) -> Result<RestartReport, CkptError> {
+    let golden = app.run_f64(&mut NoopSite).output;
+
+    // Checkpoint.
+    let vars = capture_state(app);
+    let plans = plans_for(analysis, cfg.policy);
+    let full_plans: Vec<VarPlan> = vars.iter().map(|_| VarPlan::Full).collect();
+    let full_storage = serialize(&vars, &full_plans)?.breakdown;
+
+    let (checkpoint, storage) = match &cfg.store_dir {
+        Some(dir) => {
+            let mut store = CheckpointStore::open(dir, 2)?;
+            let (version, storage) = store.save(&vars, &plans)?;
+            (store.load(version)?, storage)
+        }
+        None => {
+            let ser = serialize(&vars, &plans)?;
+            (Checkpoint::from_bytes(&ser.data, &ser.aux)?, ser.breakdown)
+        }
+    };
+
+    // Restore: full-size buffers, holes filled, then optional corruption.
+    let mut bufs = materialize_all(&checkpoint, analysis, cfg.fill)?;
+    mutate(&mut bufs, analysis);
+
+    // Restart ("resume" semantics: deterministic pre-checkpoint prefix,
+    // state overwritten at the boundary, remainder recomputed).
+    let mut site = RestoreSite::new(bufs);
+    let restarted = app.run_f64(&mut site).output;
+    assert!(site.applied, "the run never reached its checkpoint boundary");
+
+    let abs_err = (restarted - golden).abs();
+    let rel_err = abs_err / golden.abs().max(1.0);
+    Ok(RestartReport {
+        golden,
+        restarted,
+        abs_err,
+        rel_err,
+        verified: rel_err <= app.tolerance(),
+        storage,
+        full_storage,
+    })
+}
+
+/// A clean (no corruption) checkpoint/restart cycle.
+pub fn checkpoint_restart_cycle(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    cfg: &RestartConfig,
+) -> Result<RestartReport, CkptError> {
+    restart_with_mutation(app, analysis, cfg, |_, _| {})
+}
+
+/// Materialize every variable of a loaded checkpoint into full-size
+/// buffers, in the order of the analysis spec.
+pub fn materialize_all(
+    checkpoint: &Checkpoint,
+    analysis: &AnalysisReport,
+    fill: FillPolicy,
+) -> Result<Vec<VarData>, CkptError> {
+    analysis
+        .vars
+        .iter()
+        .map(|v| {
+            let loaded = checkpoint.var(&v.spec.name)?;
+            Ok(match v.spec.dtype {
+                DType::F64 => VarData::F64(loaded.materialize_f64(fill)?),
+                DType::C128 => VarData::C128(loaded.materialize_c128(fill)?),
+                DType::I64 => VarData::I64(loaded.materialize_i64(0)?),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::scrutinize;
+    use crate::tiny::Heat1d;
+
+    #[test]
+    fn clean_restart_verifies_with_garbage_fill() {
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app);
+        let report =
+            checkpoint_restart_cycle(&app, &analysis, &RestartConfig::default()).unwrap();
+        assert!(report.verified, "rel err {}", report.rel_err);
+        assert!(report.storage.total() < report.full_storage.total());
+    }
+
+    #[test]
+    fn restart_through_files_verifies() {
+        let dir = std::env::temp_dir().join(format!("scrutiny_restart_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = Heat1d::new(12, 8, 3);
+        let analysis = scrutinize(&app);
+        let cfg = RestartConfig { store_dir: Some(dir.clone()), ..Default::default() };
+        let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
+        assert!(report.verified);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupting_uncritical_elements_is_harmless() {
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app);
+        let report = restart_with_mutation(
+            &app,
+            &analysis,
+            &RestartConfig::default(),
+            |bufs, analysis| {
+                // Poison every uncritical element of every float variable.
+                for (buf, crit) in bufs.iter_mut().zip(&analysis.vars) {
+                    if let VarData::F64(v) = buf {
+                        for i in crit.value_map.zeros() {
+                            v[i] = 1e30;
+                        }
+                    }
+                }
+            },
+        )
+        .unwrap();
+        assert!(report.verified, "uncritical corruption changed the output");
+    }
+
+    #[test]
+    fn corrupting_critical_elements_breaks_verification() {
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app);
+        let report = restart_with_mutation(
+            &app,
+            &analysis,
+            &RestartConfig::default(),
+            |bufs, analysis| {
+                let crit = &analysis.vars[0];
+                if let VarData::F64(v) = &mut bufs[0] {
+                    let idx = crit.value_map.ones().next().unwrap();
+                    v[idx] += 1.0e3;
+                }
+            },
+        )
+        .unwrap();
+        assert!(!report.verified, "critical corruption went unnoticed");
+    }
+
+    #[test]
+    fn full_policy_reproduces_exactly() {
+        let app = Heat1d::new(8, 6, 2);
+        let analysis = scrutinize(&app);
+        let cfg = RestartConfig { policy: Policy::Full, ..Default::default() };
+        let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
+        assert_eq!(report.abs_err, 0.0, "full restore must be bit-exact");
+    }
+
+    #[test]
+    fn tiered_policy_verifies_within_f32_tolerance() {
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app);
+        let cfg = RestartConfig {
+            policy: Policy::Tiered { hi_threshold: 0.9 },
+            ..Default::default()
+        };
+        let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
+        // f32 rounding perturbs the output slightly; it must stay small.
+        assert!(report.rel_err < 1e-6, "rel err {}", report.rel_err);
+        assert!(report.storage.payload_bytes < report.full_storage.payload_bytes);
+    }
+}

@@ -1,0 +1,124 @@
+//! Checkpoint variable specifications (the paper's Table I).
+
+use scrutiny_ckpt::DType;
+
+/// One variable the application declares necessary for checkpointing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarSpec {
+    /// Variable name as it appears in the application source.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Logical (possibly multi-dimensional) shape; the product is the
+    /// element count. A scalar has shape `[1]`.
+    pub shape: Vec<usize>,
+}
+
+impl VarSpec {
+    /// A double array with the given shape.
+    pub fn f64(name: impl Into<String>, shape: &[usize]) -> Self {
+        VarSpec { name: name.into(), dtype: DType::F64, shape: shape.to_vec() }
+    }
+
+    /// A `dcomplex` array with the given shape.
+    pub fn c128(name: impl Into<String>, shape: &[usize]) -> Self {
+        VarSpec { name: name.into(), dtype: DType::C128, shape: shape.to_vec() }
+    }
+
+    /// An integer array with the given shape.
+    pub fn i64(name: impl Into<String>, shape: &[usize]) -> Self {
+        VarSpec { name: name.into(), dtype: DType::I64, shape: shape.to_vec() }
+    }
+
+    /// An integer scalar (loop index and similar control state).
+    pub fn int_scalar(name: impl Into<String>) -> Self {
+        Self::i64(name, &[1])
+    }
+
+    /// Total element count.
+    pub fn elems(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Full (unpruned) storage in bytes.
+    pub fn full_bytes(&self) -> usize {
+        self.elems() * self.dtype.elem_bytes()
+    }
+
+    /// C-style declaration string, e.g. `double u[12][13][13][5]` —
+    /// used by the Table I generator.
+    pub fn declaration(&self) -> String {
+        let ty = match self.dtype {
+            DType::F64 => "double",
+            DType::C128 => "dcomplex",
+            DType::I64 => "int",
+        };
+        if self.shape == [1] {
+            format!("{ty} {}", self.name)
+        } else {
+            let dims: String = self.shape.iter().map(|d| format!("[{d}]")).collect();
+            format!("{ty} {}{dims}", self.name)
+        }
+    }
+}
+
+/// An application's checkpoint specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppSpec {
+    /// Benchmark/application name (e.g. `BT`).
+    pub name: String,
+    /// Problem class (e.g. `S`).
+    pub class: String,
+    /// Variables necessary for checkpointing, in the order the app's
+    /// checkpoint site presents them.
+    pub vars: Vec<VarSpec>,
+}
+
+impl AppSpec {
+    /// Total full-checkpoint bytes across all variables.
+    pub fn full_bytes(&self) -> usize {
+        self.vars.iter().map(VarSpec::full_bytes).sum()
+    }
+
+    /// Find a variable spec by name.
+    pub fn var(&self, name: &str) -> Option<&VarSpec> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_and_bytes() {
+        let v = VarSpec::f64("u", &[12, 13, 13, 5]);
+        assert_eq!(v.elems(), 10140);
+        assert_eq!(v.full_bytes(), 81120);
+        let c = VarSpec::c128("y", &[64, 64, 65]);
+        assert_eq!(c.elems(), 266_240);
+        assert_eq!(c.full_bytes(), 4_259_840);
+    }
+
+    #[test]
+    fn declarations_match_paper_style() {
+        assert_eq!(
+            VarSpec::f64("u", &[12, 13, 13, 5]).declaration(),
+            "double u[12][13][13][5]"
+        );
+        assert_eq!(VarSpec::int_scalar("step").declaration(), "int step");
+        assert_eq!(VarSpec::c128("sums", &[6]).declaration(), "dcomplex sums[6]");
+    }
+
+    #[test]
+    fn app_spec_totals() {
+        let app = AppSpec {
+            name: "BT".into(),
+            class: "S".into(),
+            vars: vec![VarSpec::f64("u", &[12, 13, 13, 5]), VarSpec::int_scalar("step")],
+        };
+        assert_eq!(app.full_bytes(), 81120 + 8);
+        assert!(app.var("u").is_some());
+        assert!(app.var("nope").is_none());
+    }
+}

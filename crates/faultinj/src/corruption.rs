@@ -1,0 +1,66 @@
+//! Corruption models applied to restored checkpoint state.
+
+/// How a targeted element's value is damaged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Corruption {
+    /// Set to zero (lost write).
+    Zero,
+    /// Flip one bit of the IEEE-754 representation.
+    BitFlip {
+        /// Bit index, 0 (LSB of mantissa) ..= 63 (sign).
+        bit: u8,
+    },
+    /// Replace with a fixed poison value.
+    Poison(f64),
+    /// Multiply by a factor (soft error with magnitude drift).
+    Scale(f64),
+    /// Add a delta.
+    Offset(f64),
+}
+
+impl Corruption {
+    /// Apply the model to one value.
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            Corruption::Zero => 0.0,
+            Corruption::BitFlip { bit } => {
+                assert!(bit < 64, "bit index out of range");
+                f64::from_bits(v.to_bits() ^ (1u64 << bit))
+            }
+            Corruption::Poison(p) => p,
+            Corruption::Scale(s) => v * s,
+            Corruption::Offset(d) => v + d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_poison() {
+        assert_eq!(Corruption::Zero.apply(3.25), 0.0);
+        assert_eq!(Corruption::Poison(9.0).apply(3.25), 9.0);
+    }
+
+    #[test]
+    fn bitflip_is_involutive() {
+        let c = Corruption::BitFlip { bit: 52 };
+        let v = 1.5e-3;
+        assert_ne!(c.apply(v), v);
+        assert_eq!(c.apply(c.apply(v)), v);
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        let c = Corruption::BitFlip { bit: 63 };
+        assert_eq!(c.apply(2.0), -2.0);
+    }
+
+    #[test]
+    fn scale_offset() {
+        assert_eq!(Corruption::Scale(2.0).apply(3.0), 6.0);
+        assert_eq!(Corruption::Offset(-1.0).apply(3.0), 2.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! # scrutiny-faultinj — fault-injection validation of criticality maps
+//!
+//! The paper's §IV.C argument is falsifiable: corrupting *uncritical*
+//! elements of a restored checkpoint must leave the application's
+//! verification passing, while corrupting *critical* elements must not.
+//! This crate runs those campaigns systematically.
+
+pub mod campaign;
+pub mod corruption;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Target};
+pub use corruption::Corruption;

@@ -1,0 +1,2 @@
+//! Integration-test host crate: the tests live in the repo-root `tests/`
+//! directory and exercise the full pipeline across all workspace crates.

@@ -1,0 +1,61 @@
+//! # scrutiny-npb — NAS Parallel Benchmarks, class S, in Rust
+//!
+//! Ports of the eight NPB benchmarks the paper evaluates (BT, SP, LU, MG,
+//! CG, FT, EP, IS), written generically over [`scrutiny_ad::Real`] so the
+//! same kernel runs natively (`f64`) and under the recording scalar
+//! (`Adj`) for the criticality analysis.
+//!
+//! The ports keep NPB's **state layout, loop bounds and element access
+//! patterns** exactly (that is what the paper's results are functions of)
+//! while replacing NPB's physics constants by unconditionally stable
+//! equivalents; see DESIGN.md §1 and §4 for the substitution argument and
+//! per-benchmark notes.
+
+pub mod bt;
+pub mod cg;
+pub mod pde;
+pub mod common;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+
+
+pub use bt::Bt;
+pub use cg::Cg;
+pub use ft::Ft;
+pub use is::Is;
+pub use lu::Lu;
+pub use mg::Mg;
+pub use sp::Sp;
+pub use ep::Ep;
+
+
+
+
+
+
+use scrutiny_core::ScrutinyApp;
+
+/// All float-state benchmarks (those AD applies to) at class S with the
+/// default analysis checkpoint placement — the paper's Table II set.
+pub fn table2_suite() -> Vec<Box<dyn ScrutinyApp>> {
+    vec![
+        Box::new(Bt::class_s()),
+        Box::new(Sp::class_s()),
+        Box::new(Mg::class_s()),
+        Box::new(Cg::class_s()),
+        Box::new(Lu::class_s()),
+        Box::new(Ft::class_s()),
+    ]
+}
+
+/// The full eight-benchmark suite (EP included; IS is integer-only and is
+/// analyzed by the liveness tracker in [`is`], not by AD).
+pub fn ad_suite() -> Vec<Box<dyn ScrutinyApp>> {
+    let mut v = table2_suite();
+    v.push(Box::new(Ep::class_s()));
+    v
+}

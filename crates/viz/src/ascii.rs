@@ -1,0 +1,115 @@
+//! ASCII renderings of criticality volumes (the terminal version of the
+//! paper's Figures 3, 7 and 8).
+
+use scrutiny_ckpt::Bitmap;
+
+/// Render one 2-D slice of a 3-D criticality volume as text.
+/// `dims = [d0, d1, d2]` (row-major, `i2` fastest), `axis` selects the
+/// fixed dimension and `index` its value. Critical elements print `#`,
+/// uncritical `.`.
+pub fn slice_ascii(bits: &Bitmap, dims: [usize; 3], axis: usize, index: usize) -> String {
+    assert!(axis < 3 && index < dims[axis], "slice out of range");
+    assert_eq!(bits.len(), dims[0] * dims[1] * dims[2], "bitmap/dims mismatch");
+    let at = |c0: usize, c1: usize, c2: usize| bits.get((c0 * dims[1] + c1) * dims[2] + c2);
+    let (rows, cols) = match axis {
+        0 => (dims[1], dims[2]),
+        1 => (dims[0], dims[2]),
+        _ => (dims[0], dims[1]),
+    };
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = match axis {
+                0 => at(index, r, c),
+                1 => at(r, index, c),
+                _ => at(r, c, index),
+            };
+            out.push(if v { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render every slice along axis 0, labelled — a poor man's 3-D view.
+pub fn volume_ascii(bits: &Bitmap, dims: [usize; 3]) -> String {
+    let mut out = String::new();
+    for k in 0..dims[0] {
+        out.push_str(&format!("slice k={k}\n"));
+        out.push_str(&slice_ascii(bits, dims, 0, k));
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract component `m` of a `[d0, d1, d2, ncomp]` variable as a 3-D
+/// bitmap (BT/SP/LU's `u` decomposes into five cubes, paper §IV.B).
+pub fn component_slice(bits: &Bitmap, dims: [usize; 4], m: usize) -> (Bitmap, [usize; 3]) {
+    assert!(m < dims[3]);
+    assert_eq!(bits.len(), dims[0] * dims[1] * dims[2] * dims[3]);
+    let mut out = Bitmap::new(dims[0] * dims[1] * dims[2]);
+    for k in 0..dims[0] {
+        for j in 0..dims[1] {
+            for i in 0..dims[2] {
+                let src = ((k * dims[1] + j) * dims[2] + i) * dims[3] + m;
+                if bits.get(src) {
+                    out.set((k * dims[1] + j) * dims[2] + i, true);
+                }
+            }
+        }
+    }
+    (out, [dims[0], dims[1], dims[2]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(d: usize, pred: impl Fn(usize, usize, usize) -> bool) -> Bitmap {
+        Bitmap::from_fn(d * d * d, |f| {
+            let i = f % d;
+            let j = (f / d) % d;
+            let k = f / (d * d);
+            pred(k, j, i)
+        })
+    }
+
+    #[test]
+    fn slice_renders_pattern() {
+        // Uncritical plane at i == 3 (like BT's i = 12).
+        let b = cube(4, |_, _, i| i < 3);
+        let s = slice_ascii(&b, [4, 4, 4], 0, 0);
+        for line in s.lines() {
+            assert_eq!(line, "###.");
+        }
+    }
+
+    #[test]
+    fn axis_selection_consistent() {
+        let b = cube(3, |k, _, _| k == 1);
+        // Fixing axis 0 at k=1 gives all-critical.
+        assert!(!slice_ascii(&b, [3, 3, 3], 0, 1).contains('.'));
+        // Fixing axis 1 gives one critical row.
+        let s = slice_ascii(&b, [3, 3, 3], 1, 0);
+        assert_eq!(s.lines().nth(1).unwrap(), "###");
+        assert_eq!(s.lines().next().unwrap(), "...");
+    }
+
+    #[test]
+    fn component_slice_extracts() {
+        let dims = [2usize, 2, 2, 3];
+        let b = Bitmap::from_fn(24, |f| f % 3 == 1); // only component 1 set
+        let (c0, d3) = component_slice(&b, dims, 0);
+        assert_eq!(d3, [2, 2, 2]);
+        assert_eq!(c0.count_ones(), 0);
+        let (c1, _) = component_slice(&b, dims, 1);
+        assert_eq!(c1.count_ones(), 8);
+    }
+
+    #[test]
+    fn volume_lists_all_slices() {
+        let b = cube(3, |_, _, _| true);
+        let v = volume_ascii(&b, [3, 3, 3]);
+        assert!(v.contains("slice k=0") && v.contains("slice k=2"));
+    }
+}

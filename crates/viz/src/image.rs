@@ -1,0 +1,94 @@
+//! Binary PGM (P5) renderings of criticality volumes — the image files
+//! behind the paper's Figures 3, 7 and 8.
+
+use scrutiny_ckpt::Bitmap;
+
+const CRITICAL_GRAY: u8 = 64; // dark = critical (red in the paper)
+const UNCRITICAL_GRAY: u8 = 230; // light = uncritical (blue in the paper)
+
+fn pgm_header(w: usize, h: usize) -> Vec<u8> {
+    format!("P5\n{w} {h}\n255\n").into_bytes()
+}
+
+/// Render one slice (axis/index as in [`scrutiny_viz::slice_ascii`]) as a
+/// PGM image, `scale`× magnified.
+pub fn slice_pgm(bits: &Bitmap, dims: [usize; 3], axis: usize, index: usize, scale: usize) -> Vec<u8> {
+    assert!(scale >= 1);
+    let at = |c0: usize, c1: usize, c2: usize| bits.get((c0 * dims[1] + c1) * dims[2] + c2);
+    let (rows, cols) = match axis {
+        0 => (dims[1], dims[2]),
+        1 => (dims[0], dims[2]),
+        _ => (dims[0], dims[1]),
+    };
+    let (w, h) = (cols * scale, rows * scale);
+    let mut out = pgm_header(w, h);
+    for r in 0..h {
+        for c in 0..w {
+            let v = match axis {
+                0 => at(index, r / scale, c / scale),
+                1 => at(r / scale, index, c / scale),
+                _ => at(r / scale, c / scale, index),
+            };
+            out.push(if v { CRITICAL_GRAY } else { UNCRITICAL_GRAY });
+        }
+    }
+    out
+}
+
+/// Tile all axis-0 slices into one montage image (`cols` tiles per row,
+/// 1-pixel separators).
+pub fn volume_montage_pgm(bits: &Bitmap, dims: [usize; 3], cols: usize, scale: usize) -> Vec<u8> {
+    assert!(cols >= 1 && scale >= 1);
+    let n = dims[0];
+    let rows = n.div_ceil(cols);
+    let tile_w = dims[2] * scale;
+    let tile_h = dims[1] * scale;
+    let w = cols * tile_w + (cols - 1);
+    let h = rows * tile_h + (rows - 1);
+    let mut img = vec![0u8; w * h];
+    let at = |c0: usize, c1: usize, c2: usize| bits.get((c0 * dims[1] + c1) * dims[2] + c2);
+    for k in 0..n {
+        let (tr, tc) = (k / cols, k % cols);
+        let (oy, ox) = (tr * (tile_h + 1), tc * (tile_w + 1));
+        for y in 0..tile_h {
+            for x in 0..tile_w {
+                let v = at(k, y / scale, x / scale);
+                img[(oy + y) * w + ox + x] =
+                    if v { CRITICAL_GRAY } else { UNCRITICAL_GRAY };
+            }
+        }
+    }
+    let mut out = pgm_header(w, h);
+    out.extend_from_slice(&img);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_has_valid_header_and_size() {
+        let b = Bitmap::full(27);
+        let img = slice_pgm(&b, [3, 3, 3], 0, 1, 2);
+        assert!(img.starts_with(b"P5\n6 6\n255\n"));
+        assert_eq!(img.len(), "P5\n6 6\n255\n".len() + 36);
+    }
+
+    #[test]
+    fn pixel_values_reflect_criticality() {
+        let b = Bitmap::from_fn(27, |f| f % 3 != 2); // i == 2 uncritical
+        let img = slice_pgm(&b, [3, 3, 3], 0, 0, 1);
+        let data = &img["P5\n3 3\n255\n".len()..];
+        assert_eq!(data[0], CRITICAL_GRAY);
+        assert_eq!(data[2], UNCRITICAL_GRAY);
+    }
+
+    #[test]
+    fn montage_dimensions() {
+        let b = Bitmap::full(4 * 3 * 3);
+        let img = volume_montage_pgm(&b, [4, 3, 3], 2, 1);
+        // 2 cols + 1 separator = 7 wide; 2 rows + 1 separator = 7 tall.
+        assert!(img.starts_with(b"P5\n7 7\n255\n"));
+    }
+}

@@ -1,0 +1,18 @@
+//! # scrutiny-viz — visualizing critical/uncritical distributions
+//!
+//! Regenerates the paper's Figures 3–8: ASCII slice views and PGM images
+//! of 3-D criticality volumes, run-length bar charts for 1-D layouts, SVG
+//! rendering, and the pattern detectors (uncritical hyperplanes,
+//! periodicity) used to connect distributions back to source code.
+
+pub mod ascii;
+pub mod image;
+pub mod pattern;
+pub mod runlength;
+pub mod svg;
+
+pub use ascii::{slice_ascii, volume_ascii};
+pub use image::{slice_pgm, volume_montage_pgm};
+pub use pattern::{detect_periodicity, detect_planes, PlaneFinding};
+pub use runlength::{runlength_chart, runlength_summary};
+pub use svg::runlength_svg;

@@ -1,0 +1,133 @@
+//! Pattern detectors: connect criticality distributions back to source
+//! structure (the analysis the paper does by hand in §IV.B).
+
+use scrutiny_ckpt::Bitmap;
+
+/// A fully-uncritical hyperplane: "index `index` along `axis` is never
+/// used" — the signature of declared-but-unindexed array extents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlaneFinding {
+    /// Which of the three axes.
+    pub axis: usize,
+    /// The dead index on that axis.
+    pub index: usize,
+}
+
+/// Find axis-aligned planes of a 3-D volume that are entirely uncritical
+/// (e.g. BT's `j = 12` and `i = 12`, FT's padding plane).
+pub fn detect_planes(bits: &Bitmap, dims: [usize; 3]) -> Vec<PlaneFinding> {
+    assert_eq!(bits.len(), dims[0] * dims[1] * dims[2]);
+    let at = |c: [usize; 3]| bits.get((c[0] * dims[1] + c[1]) * dims[2] + c[2]);
+    let mut findings = Vec::new();
+    for axis in 0..3 {
+        for index in 0..dims[axis] {
+            let (da, db) = match axis {
+                0 => (dims[1], dims[2]),
+                1 => (dims[0], dims[2]),
+                _ => (dims[0], dims[1]),
+            };
+            let mut all_clear = true;
+            'scan: for a in 0..da {
+                for b in 0..db {
+                    let c = match axis {
+                        0 => [index, a, b],
+                        1 => [a, index, b],
+                        _ => [a, b, index],
+                    };
+                    if at(c) {
+                        all_clear = false;
+                        break 'scan;
+                    }
+                }
+            }
+            if all_clear {
+                findings.push(PlaneFinding { axis, index });
+            }
+        }
+    }
+    findings
+}
+
+/// Detected repetition in a 1-D layout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Periodicity {
+    /// Repeat length.
+    pub period: usize,
+    /// Fraction of positions where `bit[i] == bit[i + period]`.
+    pub fraction: f64,
+}
+
+/// Find the period (2..=max_period) with the highest self-match fraction,
+/// provided it reaches `threshold` — MG's `r` shows period 34 at class S
+/// (Fig. 5). Choosing the *best* match (not the first above threshold)
+/// matters for high-base-rate patterns, where almost any shift matches
+/// most positions.
+pub fn detect_periodicity(bits: &Bitmap, max_period: usize, threshold: f64) -> Option<Periodicity> {
+    let n = bits.len();
+    let mut best: Option<Periodicity> = None;
+    for p in 2..=max_period.min(n.saturating_sub(1)) {
+        let total = n - p;
+        if total == 0 {
+            break;
+        }
+        let matches = (0..total).filter(|&i| bits.get(i) == bits.get(i + p)).count();
+        let fraction = matches as f64 / total as f64;
+        if fraction < threshold {
+            continue;
+        }
+        let better = match best {
+            // Require a strict improvement so the fundamental period wins
+            // over its multiples and over trivial small shifts.
+            Some(b) => fraction > b.fraction + 1e-9,
+            None => true,
+        };
+        if better {
+            best = Some(Periodicity { period: p, fraction });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_dead_planes() {
+        // 4³ with dead plane at axis2 index 3 and axis1 index 0.
+        let b = Bitmap::from_fn(64, |f| {
+            let i = f % 4;
+            let j = (f / 4) % 4;
+            i != 3 && j != 0
+        });
+        let found = detect_planes(&b, [4, 4, 4]);
+        assert!(found.contains(&PlaneFinding { axis: 2, index: 3 }));
+        assert!(found.contains(&PlaneFinding { axis: 1, index: 0 }));
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn no_planes_in_full_volume() {
+        let b = Bitmap::full(27);
+        assert!(detect_planes(&b, [3, 3, 3]).is_empty());
+    }
+
+    #[test]
+    fn finds_period() {
+        // period-5 pattern: 4 critical, 1 uncritical.
+        let b = Bitmap::from_fn(100, |i| i % 5 != 4);
+        let p = detect_periodicity(&b, 20, 0.99).unwrap();
+        assert_eq!(p.period, 5);
+        assert!(p.fraction >= 0.99);
+    }
+
+    #[test]
+    fn aperiodic_returns_none() {
+        // Bits at perfect squares: gaps grow, so no exact small period.
+        let b = Bitmap::from_fn(64, |i| {
+            let r = (i as f64).sqrt() as usize;
+            r * r == i
+        });
+        assert!(detect_periodicity(&b, 10, 0.995).is_none());
+    }
+}

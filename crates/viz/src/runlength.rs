@@ -1,0 +1,71 @@
+//! Run-length views of 1-D criticality layouts (Figures 4, 5 and 6).
+
+use scrutiny_ckpt::Bitmap;
+
+/// Consecutive same-criticality segments: `(critical?, length)`.
+pub fn runlength_summary(bits: &Bitmap) -> Vec<(bool, usize)> {
+    let mut out: Vec<(bool, usize)> = Vec::new();
+    for b in bits.iter() {
+        match out.last_mut() {
+            Some((v, n)) if *v == b => *n += 1,
+            _ => out.push((b, 1)),
+        }
+    }
+    out
+}
+
+/// A fixed-width textual bar: each cell shows the majority criticality of
+/// its element span (`#` critical, `.` uncritical), plus a segment legend.
+pub fn runlength_chart(bits: &Bitmap, width: usize) -> String {
+    assert!(width >= 1);
+    let n = bits.len();
+    let mut bar = String::with_capacity(width + 2);
+    bar.push('[');
+    for c in 0..width {
+        let lo = c * n / width;
+        let hi = ((c + 1) * n / width).max(lo + 1).min(n);
+        let crit = (lo..hi).filter(|&i| bits.get(i)).count();
+        bar.push(if 2 * crit >= hi - lo { '#' } else { '.' });
+    }
+    bar.push(']');
+    let segments = runlength_summary(bits);
+    let mut legend = String::new();
+    for &(crit, len) in segments.iter().take(10) {
+        legend.push_str(&format!(
+            " {}{}",
+            if crit { "critical:" } else { "uncritical:" },
+            len
+        ));
+    }
+    if segments.len() > 10 {
+        legend.push_str(&format!(" … ({} segments total)", segments.len()));
+    }
+    format!("{bar}\n{legend}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_compresses_runs() {
+        let b = Bitmap::from_fn(10, |i| i < 6);
+        assert_eq!(runlength_summary(&b), vec![(true, 6), (false, 4)]);
+    }
+
+    #[test]
+    fn chart_shape() {
+        let b = Bitmap::from_fn(100, |i| i < 80);
+        let c = runlength_chart(&b, 10);
+        let bar = c.lines().next().unwrap();
+        assert_eq!(bar, "[########..]");
+        assert!(c.contains("critical:80"));
+        assert!(c.contains("uncritical:20"));
+    }
+
+    #[test]
+    fn empty_and_alternating() {
+        let b = Bitmap::from_fn(8, |i| i % 2 == 0);
+        assert_eq!(runlength_summary(&b).len(), 8);
+    }
+}

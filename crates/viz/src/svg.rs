@@ -1,0 +1,49 @@
+//! SVG rendering of run-length layouts (vector version of Figs. 4–6).
+
+use crate::runlength::runlength_summary;
+use scrutiny_ckpt::Bitmap;
+
+/// Horizontal run-length bar as a standalone SVG document. Critical
+/// segments render red, uncritical blue, matching the paper's palette.
+pub fn runlength_svg(bits: &Bitmap, width_px: usize, height_px: usize) -> String {
+    let n = bits.len().max(1);
+    let mut body = String::new();
+    let mut offset = 0usize;
+    for (crit, len) in runlength_summary(bits) {
+        let x = offset * width_px / n;
+        let w = ((offset + len) * width_px / n).saturating_sub(x).max(1);
+        let color = if crit { "#c0392b" } else { "#2980b9" };
+        body.push_str(&format!(
+            "  <rect x=\"{x}\" y=\"0\" width=\"{w}\" height=\"{height_px}\" fill=\"{color}\">\
+             <title>{} {len} elements</title></rect>\n",
+            if crit { "critical" } else { "uncritical" }
+        ));
+        offset += len;
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height_px}\" \
+         viewBox=\"0 0 {width_px} {height_px}\">\n{body}</svg>\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_is_well_formed_and_colored() {
+        let b = Bitmap::from_fn(100, |i| i < 70);
+        let svg = runlength_svg(&b, 400, 24);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("#c0392b") && svg.contains("#2980b9"));
+        assert_eq!(svg.matches("<rect").count(), 2);
+    }
+
+    #[test]
+    fn all_critical_has_one_rect() {
+        let svg = runlength_svg(&Bitmap::full(10), 100, 10);
+        assert_eq!(svg.matches("<rect").count(), 1);
+        assert!(!svg.contains("#2980b9"));
+    }
+}

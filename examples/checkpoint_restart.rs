@@ -1,0 +1,57 @@
+//! Checkpoint/restart with failure and fault injection on NPB BT.
+//!
+//! Run with: `cargo run --release -p scrutiny-bench --example checkpoint_restart`
+
+use scrutiny_core::{checkpoint_restart_cycle, scrutinize, FillPolicy, Policy, RestartConfig};
+use scrutiny_faultinj::{run_campaign, CampaignConfig, Corruption, Target};
+use scrutiny_npb::Bt;
+
+fn main() {
+    let app = Bt::class_s();
+    println!("scrutinizing BT class S…");
+    let analysis = scrutinize(&app);
+
+    let dir = std::env::temp_dir().join("scrutiny_example_ckpt");
+    let cfg = RestartConfig {
+        policy: Policy::PrunedValue,
+        fill: FillPolicy::Garbage(7),
+        store_dir: Some(dir.clone()),
+    };
+    let report = checkpoint_restart_cycle(&app, &analysis, &cfg).expect("cycle");
+    println!(
+        "pruned checkpoint on disk: {} B (payload {} B + aux {} B); full would be {} B",
+        report.storage.total(),
+        report.storage.payload_bytes,
+        report.storage.aux_bytes,
+        report.full_storage.total()
+    );
+    println!(
+        "restart verified: {} (golden {:.6}, restarted {:.6})",
+        report.verified, report.golden, report.restarted
+    );
+
+    // Fault injection (paper §IV.C): garbage in uncritical elements is
+    // harmless; bit flips in critical elements are caught.
+    let unc = run_campaign(&app, &analysis, &CampaignConfig::default());
+    println!(
+        "uncritical corruption: {}/{} runs verified (max rel err {:.2e})",
+        unc.verified,
+        unc.trials(),
+        unc.max_rel_err
+    );
+    let crit = run_campaign(
+        &app,
+        &analysis,
+        &CampaignConfig {
+            target: Target::Critical,
+            corruption: Corruption::Poison(1e9),
+            ..Default::default()
+        },
+    );
+    println!(
+        "critical corruption:   {}/{} runs failed verification (as they must)",
+        crit.failed,
+        crit.trials()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,46 @@
+//! Scrutinize one NPB benchmark (class S) and visualize the result.
+//!
+//! Run with: `cargo run --release -p scrutiny-bench --example npb_scrutiny [BT|SP|LU|MG|CG|FT|EP]`
+
+use scrutiny_core::{format_table2, scrutinize, table2_rows, ScrutinyApp};
+use scrutiny_npb::{Bt, Cg, Ep, Ft, Lu, Mg, Sp};
+use scrutiny_viz::ascii::component_slice;
+use scrutiny_viz::{detect_planes, runlength_chart, slice_ascii};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "CG".into());
+    let app: Box<dyn ScrutinyApp> = match which.to_uppercase().as_str() {
+        "BT" => Box::new(Bt::class_s()),
+        "SP" => Box::new(Sp::class_s()),
+        "LU" => Box::new(Lu::class_s()),
+        "MG" => Box::new(Mg::class_s()),
+        "FT" => Box::new(Ft::class_s()),
+        "EP" => Box::new(Ep::class_s()),
+        _ => Box::new(Cg::class_s()),
+    };
+    let report = scrutinize(app.as_ref());
+    print!("{}", format_table2(&table2_rows(&report)));
+    println!(
+        "tape: {} nodes ({:.1} MB), {:.2} s",
+        report.tape_stats.nodes,
+        report.tape_stats.bytes as f64 / 1e6,
+        report.analysis_seconds
+    );
+    for var in &report.vars {
+        if var.total() <= 1 {
+            continue;
+        }
+        println!("\n{} ({} elements):", var.spec.name, var.total());
+        match var.spec.shape.as_slice() {
+            [d0, d1, d2, nc] => {
+                let (cube, dims) = component_slice(&var.value_map, [*d0, *d1, *d2, *nc], 0);
+                print!("{}", slice_ascii(&cube, dims, 0, d0 / 2));
+                println!("dead planes: {:?}", detect_planes(&cube, dims));
+            }
+            [d0, d1, d2] => {
+                println!("dead planes: {:?}", detect_planes(&var.value_map, [*d0, *d1, *d2]));
+            }
+            _ => print!("{}", runlength_chart(&var.value_map, 72)),
+        }
+    }
+}

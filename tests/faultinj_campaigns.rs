@@ -1,0 +1,60 @@
+//! Fault-injection campaigns across benchmarks: the paper's §IV.C claim,
+//! falsified systematically rather than once.
+
+use scrutiny_core::{scrutinize, ScrutinyApp};
+use scrutiny_faultinj::{run_campaign, CampaignConfig, Corruption, Target};
+use scrutiny_npb::{Cg, Lu, Mg};
+
+fn apps() -> Vec<Box<dyn ScrutinyApp>> {
+    vec![Box::new(Cg::mini()), Box::new(Lu::mini()), Box::new(Mg::mini())]
+}
+
+#[test]
+fn uncritical_corruption_never_fails_verification() {
+    for app in apps() {
+        let analysis = scrutinize(app.as_ref());
+        let report = run_campaign(
+            app.as_ref(),
+            &analysis,
+            &CampaignConfig { trials: 4, elems_per_trial: 32, ..Default::default() },
+        );
+        assert_eq!(report.failed, 0, "{}", analysis.app.name);
+        assert_eq!(report.max_rel_err, 0.0, "{}", analysis.app.name);
+    }
+}
+
+#[test]
+fn critical_poison_always_fails_verification() {
+    for app in apps() {
+        let analysis = scrutinize(app.as_ref());
+        let report = run_campaign(
+            app.as_ref(),
+            &analysis,
+            &CampaignConfig {
+                target: Target::Critical,
+                corruption: Corruption::Poison(1e9),
+                trials: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.verified, 0, "{}", analysis.app.name);
+    }
+}
+
+#[test]
+fn critical_sign_flip_is_caught() {
+    let app = Cg::mini();
+    let analysis = scrutinize(&app);
+    let report = run_campaign(
+        &app,
+        &analysis,
+        &CampaignConfig {
+            target: Target::Critical,
+            corruption: Corruption::BitFlip { bit: 63 },
+            trials: 4,
+            elems_per_trial: 64,
+            ..Default::default()
+        },
+    );
+    assert!(report.failed > 0, "sign flips in 64 critical elements went unnoticed");
+}

@@ -1,0 +1,75 @@
+//! Full pipeline (analyze → plan → checkpoint → restart → verify) for
+//! every AD-analyzable NPB benchmark at reduced scale.
+
+use scrutiny_core::{
+    checkpoint_restart_cycle, scrutinize, FillPolicy, Policy, RestartConfig, ScrutinyApp,
+};
+use scrutiny_npb::{Bt, Cg, Ep, Ft, Lu, Mg, Sp};
+
+fn minis() -> Vec<Box<dyn ScrutinyApp>> {
+    vec![
+        Box::new(Bt::mini()),
+        Box::new(Sp::mini()),
+        Box::new(Lu::mini()),
+        Box::new(Mg::mini()),
+        Box::new(Cg::mini()),
+        Box::new(Ft::mini()),
+        Box::new(Ep::mini()),
+    ]
+}
+
+#[test]
+fn every_benchmark_restarts_from_pruned_checkpoint() {
+    for app in minis() {
+        let analysis = scrutinize(app.as_ref());
+        let cfg = RestartConfig {
+            policy: Policy::PrunedValue,
+            fill: FillPolicy::Garbage(1),
+            store_dir: None,
+        };
+        let report = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).unwrap();
+        assert!(
+            report.verified,
+            "{} failed to verify after restart (rel err {})",
+            analysis.app.name, report.rel_err
+        );
+    }
+}
+
+#[test]
+fn structural_policy_also_restarts() {
+    for app in minis() {
+        let analysis = scrutinize(app.as_ref());
+        let cfg = RestartConfig {
+            policy: Policy::PrunedStructural,
+            fill: FillPolicy::Sentinel(1e20),
+            store_dir: None,
+        };
+        let report = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).unwrap();
+        assert!(report.verified, "{}", analysis.app.name);
+    }
+}
+
+#[test]
+fn pruned_is_never_larger_in_payload() {
+    for app in minis() {
+        let analysis = scrutinize(app.as_ref());
+        let cfg = RestartConfig::default();
+        let report = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).unwrap();
+        assert!(
+            report.storage.payload_bytes <= report.full_storage.payload_bytes,
+            "{}",
+            analysis.app.name
+        );
+    }
+}
+
+#[test]
+fn uninterrupted_equals_restarted_bit_exactly_for_full_policy() {
+    for app in minis() {
+        let analysis = scrutinize(app.as_ref());
+        let cfg = RestartConfig { policy: Policy::Full, ..Default::default() };
+        let report = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).unwrap();
+        assert_eq!(report.abs_err, 0.0, "{}", analysis.app.name);
+    }
+}
