@@ -32,7 +32,10 @@ impl Adj {
     /// Panics when no [`crate::TapeSession`] is active.
     #[inline]
     pub fn leaf(v: f64) -> Self {
-        Adj { idx: tape::record_leaf(), v }
+        Adj {
+            idx: tape::record_leaf(),
+            v,
+        }
     }
 
     /// The primal value.
@@ -59,7 +62,10 @@ impl Adj {
         if self.idx == NONE {
             return Adj::constant(v);
         }
-        Adj { idx: tape::record_node(self.idx, d, NONE, 0.0), v }
+        Adj {
+            idx: tape::record_node(self.idx, d, NONE, 0.0),
+            v,
+        }
     }
 
     /// Record a binary operation `f(self, rhs)` with local partials `da, db`.
@@ -68,7 +74,10 @@ impl Adj {
         if self.idx == NONE && rhs.idx == NONE {
             return Adj::constant(v);
         }
-        Adj { idx: tape::record_node(self.idx, da, rhs.idx, db), v }
+        Adj {
+            idx: tape::record_node(self.idx, da, rhs.idx, db),
+            v,
+        }
     }
 
     // ---- elementary functions -------------------------------------------

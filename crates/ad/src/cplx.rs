@@ -29,13 +29,19 @@ impl<R: Real> Cplx<R> {
     /// Complex zero.
     #[inline]
     pub fn zero() -> Self {
-        Cplx { re: R::zero(), im: R::zero() }
+        Cplx {
+            re: R::zero(),
+            im: R::zero(),
+        }
     }
 
     /// Lift a pair of literals (AD constants).
     #[inline]
     pub fn lit(re: f64, im: f64) -> Self {
-        Cplx { re: R::lit(re), im: R::lit(im) }
+        Cplx {
+            re: R::lit(re),
+            im: R::lit(im),
+        }
     }
 
     /// `e^{iθ}` for a literal angle — the FFT twiddle constructor.
@@ -53,19 +59,28 @@ impl<R: Real> Cplx<R> {
     /// Multiply by a real scalar.
     #[inline]
     pub fn scale(self, s: R) -> Self {
-        Cplx { re: self.re * s, im: self.im * s }
+        Cplx {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Multiply by a literal.
     #[inline]
     pub fn scale_lit(self, s: f64) -> Self {
-        Cplx { re: self.re * s, im: self.im * s }
+        Cplx {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Cplx { re: self.re, im: -self.im }
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -83,7 +98,10 @@ impl<R: Real> Cplx<R> {
     /// Multiplication by `i` (cheaper than a full complex multiply).
     #[inline]
     pub fn mul_i(self) -> Self {
-        Cplx { re: -self.im, im: self.re }
+        Cplx {
+            re: -self.im,
+            im: self.re,
+        }
     }
 }
 
@@ -91,7 +109,10 @@ impl<R: Real> Add for Cplx<R> {
     type Output = Cplx<R>;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Cplx { re: self.re + rhs.re, im: self.im + rhs.im }
+        Cplx {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -99,7 +120,10 @@ impl<R: Real> Sub for Cplx<R> {
     type Output = Cplx<R>;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Cplx { re: self.re - rhs.re, im: self.im - rhs.im }
+        Cplx {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -118,7 +142,10 @@ impl<R: Real> Neg for Cplx<R> {
     type Output = Cplx<R>;
     #[inline]
     fn neg(self) -> Self {
-        Cplx { re: -self.re, im: -self.im }
+        Cplx {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -44,32 +44,47 @@ impl Dual {
     #[inline]
     pub fn sqrt(self) -> Dual {
         let r = self.v.sqrt();
-        Dual { v: r, d: self.d * 0.5 / r }
+        Dual {
+            v: r,
+            d: self.d * 0.5 / r,
+        }
     }
 
     /// Natural exponential.
     #[inline]
     pub fn exp(self) -> Dual {
         let e = self.v.exp();
-        Dual { v: e, d: self.d * e }
+        Dual {
+            v: e,
+            d: self.d * e,
+        }
     }
 
     /// Natural logarithm.
     #[inline]
     pub fn ln(self) -> Dual {
-        Dual { v: self.v.ln(), d: self.d / self.v }
+        Dual {
+            v: self.v.ln(),
+            d: self.d / self.v,
+        }
     }
 
     /// Sine.
     #[inline]
     pub fn sin(self) -> Dual {
-        Dual { v: self.v.sin(), d: self.d * self.v.cos() }
+        Dual {
+            v: self.v.sin(),
+            d: self.d * self.v.cos(),
+        }
     }
 
     /// Cosine.
     #[inline]
     pub fn cos(self) -> Dual {
-        Dual { v: self.v.cos(), d: -self.d * self.v.sin() }
+        Dual {
+            v: self.v.cos(),
+            d: -self.d * self.v.sin(),
+        }
     }
 
     /// Integer power.
@@ -94,7 +109,10 @@ impl Dual {
     #[inline]
     pub fn recip(self) -> Dual {
         let inv = 1.0 / self.v;
-        Dual { v: inv, d: -self.d * inv * inv }
+        Dual {
+            v: inv,
+            d: -self.d * inv * inv,
+        }
     }
 
     /// Absolute value (a.e. derivative).
@@ -134,7 +152,10 @@ impl Add for Dual {
     type Output = Dual;
     #[inline]
     fn add(self, rhs: Dual) -> Dual {
-        Dual { v: self.v + rhs.v, d: self.d + rhs.d }
+        Dual {
+            v: self.v + rhs.v,
+            d: self.d + rhs.d,
+        }
     }
 }
 
@@ -142,7 +163,10 @@ impl Sub for Dual {
     type Output = Dual;
     #[inline]
     fn sub(self, rhs: Dual) -> Dual {
-        Dual { v: self.v - rhs.v, d: self.d - rhs.d }
+        Dual {
+            v: self.v - rhs.v,
+            d: self.d - rhs.d,
+        }
     }
 }
 
@@ -173,7 +197,10 @@ impl Neg for Dual {
     type Output = Dual;
     #[inline]
     fn neg(self) -> Dual {
-        Dual { v: -self.v, d: -self.d }
+        Dual {
+            v: -self.v,
+            d: -self.d,
+        }
     }
 }
 

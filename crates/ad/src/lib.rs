@@ -45,6 +45,8 @@
 //! assert!((df_dx - (6.0 * 2.0 + 1.0 / 3.0)).abs() < 1e-12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adj;
 pub mod cplx;
 pub mod dual;

@@ -88,14 +88,20 @@ impl Tape {
     pub fn gradient(&self, output: crate::Adj) -> Gradient {
         match output.index() {
             Some(idx) => self.gradient_of(idx),
-            None => Gradient { adj: vec![0.0; self.len()] },
+            None => Gradient {
+                adj: vec![0.0; self.len()],
+            },
         }
     }
 
     /// Reverse sweep seeded at an explicit node index.
     pub fn gradient_of(&self, output: u32) -> Gradient {
         let out = output as usize;
-        assert!(out < self.len(), "output node {out} not on tape (len {})", self.len());
+        assert!(
+            out < self.len(),
+            "output node {out} not on tape (len {})",
+            self.len()
+        );
         let mut adj = vec![0.0f64; self.len()];
         adj[out] = 1.0;
         for i in (0..=out).rev() {
@@ -133,7 +139,11 @@ impl Tape {
     /// Structural sweep seeded at an explicit node index.
     pub fn reachable_of(&self, output: u32) -> Vec<bool> {
         let out = output as usize;
-        assert!(out < self.len(), "output node {out} not on tape (len {})", self.len());
+        assert!(
+            out < self.len(),
+            "output node {out} not on tape (len {})",
+            self.len()
+        );
         let mut reach = vec![false; self.len()];
         reach[out] = true;
         for i in (0..=out).rev() {
@@ -341,7 +351,7 @@ mod tests {
         let x = Adj::leaf(3.0);
         let mut y = x;
         for _ in 0..10 {
-            y = y * 2.0;
+            y *= 2.0;
         }
         let tape = s.finish();
         assert_eq!(tape.gradient(y).wrt(x), 1024.0);

@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("fig3_montage_pgm", |b| {
         b.iter(|| volume_montage_pgm(&cube, dims, 4, 8).len())
     });
-    g.bench_function("fig6_svg", |b| b.iter(|| runlength_svg(xmap, 720, 32).len()));
+    g.bench_function("fig6_svg", |b| {
+        b.iter(|| runlength_svg(xmap, 720, 32).len())
+    });
     g.bench_function("plane_detector", |b| b.iter(|| detect_planes(&cube, dims)));
     g.finish();
 }

@@ -8,7 +8,10 @@ use scrutiny_npb::{Bt, Cg};
 fn bench(c: &mut Criterion) {
     let bt = Bt::class_s();
     let analysis = scrutinize(&bt);
-    let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+    let cfg = RestartConfig {
+        policy: Policy::PrunedValue,
+        ..Default::default()
+    };
     let r = checkpoint_restart_cycle(&bt, &analysis, &cfg).unwrap();
     println!(
         "\nBT class S restart: verified={} rel_err={:.2e} pruned={}B full={}B",

@@ -23,14 +23,22 @@ fn main() {
     print!("{}", slice_ascii(&cube, dims, 0, 6));
     let planes = detect_planes(&cube, dims);
     println!("dead planes detected: {planes:?} (paper: surfaces y=12 and z=12)\n");
-    fs::write(out.join("fig3_bt_u.pgm"), volume_montage_pgm(&cube, dims, 4, 8)).unwrap();
+    fs::write(
+        out.join("fig3_bt_u.pgm"),
+        volume_montage_pgm(&cube, dims, 4, 8),
+    )
+    .unwrap();
 
     // ---- Figures 4 & 5: MG u and r run-length layouts -----------------
     let mg = scrutinize(&Mg::class_s());
     let mg_u = mg.var("u").unwrap();
     println!("Figure 4 — MG u run-length layout:");
     print!("{}", runlength_chart(&mg_u.value_map, 72));
-    fs::write(out.join("fig4_mg_u.svg"), runlength_svg(&mg_u.value_map, 720, 32)).unwrap();
+    fs::write(
+        out.join("fig4_mg_u.svg"),
+        runlength_svg(&mg_u.value_map, 720, 32),
+    )
+    .unwrap();
 
     let mg_r = mg.var("r").unwrap();
     println!("\nFigure 5 — MG r run-length layout (repetitive pattern):");
@@ -45,14 +53,22 @@ fn main() {
         ),
         None => println!("no periodicity detected (unexpected)"),
     }
-    fs::write(out.join("fig5_mg_r.svg"), runlength_svg(&mg_r.value_map, 720, 32)).unwrap();
+    fs::write(
+        out.join("fig5_mg_r.svg"),
+        runlength_svg(&mg_r.value_map, 720, 32),
+    )
+    .unwrap();
 
     // ---- Figure 6: CG x -----------------------------------------------
     let cg = scrutinize(&Cg::class_s());
     let x = cg.var("x").unwrap();
     println!("\nFigure 6 — CG x run-length layout:");
     print!("{}", runlength_chart(&x.value_map, 72));
-    fs::write(out.join("fig6_cg_x.svg"), runlength_svg(&x.value_map, 720, 32)).unwrap();
+    fs::write(
+        out.join("fig6_cg_x.svg"),
+        runlength_svg(&x.value_map, 720, 32),
+    )
+    .unwrap();
 
     // ---- Figure 7: LU u[..][4] ------------------------------------------
     let lu = scrutinize(&Lu::class_s());
@@ -65,7 +81,11 @@ fn main() {
     println!(
         "(k=0: only the j,i-interior square is critical — the z-direction flux slab;\n k=6: full Fig. 3 cross section)"
     );
-    fs::write(out.join("fig7_lu_u4.pgm"), volume_montage_pgm(&cube4, dims4, 4, 8)).unwrap();
+    fs::write(
+        out.join("fig7_lu_u4.pgm"),
+        volume_montage_pgm(&cube4, dims4, 4, 8),
+    )
+    .unwrap();
 
     // ---- Figure 8: FT y --------------------------------------------------
     let ft = scrutinize(&Ft::class_s());

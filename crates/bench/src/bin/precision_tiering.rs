@@ -2,17 +2,20 @@
 //! Elements with small |∂output/∂element| are stored as f32; the sweep
 //! shows the storage/accuracy trade-off.
 
+use scrutiny_core::ScrutinyApp;
 use scrutiny_core::{checkpoint_restart_cycle, scrutinize, Policy, RestartConfig};
 use scrutiny_npb::{Bt, Cg, Mg};
-use scrutiny_core::ScrutinyApp;
 
 fn main() {
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>14}",
         "Bench", "threshold", "payload kb", "vs full", "restart relerr"
     );
-    let apps: Vec<Box<dyn ScrutinyApp>> =
-        vec![Box::new(Bt::class_s()), Box::new(Mg::class_s()), Box::new(Cg::class_s())];
+    let apps: Vec<Box<dyn ScrutinyApp>> = vec![
+        Box::new(Bt::class_s()),
+        Box::new(Mg::class_s()),
+        Box::new(Cg::class_s()),
+    ];
     for app in &apps {
         let analysis = scrutinize(app.as_ref());
         // Thresholds from the gradient-magnitude distribution.
@@ -33,13 +36,18 @@ fn main() {
             let policy = if tau == 0.0 {
                 Policy::PrunedValue
             } else if tau.is_infinite() {
-                Policy::Tiered { hi_threshold: f64::MAX }
+                Policy::Tiered {
+                    hi_threshold: f64::MAX,
+                }
             } else {
                 Policy::Tiered { hi_threshold: tau }
             };
-            let cfg = RestartConfig { policy, ..Default::default() };
-            let r = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg)
-                .expect("in-memory cycle");
+            let cfg = RestartConfig {
+                policy,
+                ..Default::default()
+            };
+            let r =
+                checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).expect("in-memory cycle");
             println!(
                 "{:<6} {:>12} {:>10.1}kb {:>11.1}% {:>14.2e}",
                 analysis.app.name,

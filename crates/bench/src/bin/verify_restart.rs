@@ -5,8 +5,8 @@
 
 use scrutiny_core::{checkpoint_restart_cycle, scrutinize, FillPolicy, Policy, RestartConfig};
 use scrutiny_faultinj::{run_campaign, CampaignConfig, Corruption, Target};
-use scrutiny_npb::{ad_suite, Is};
 use scrutiny_npb::is::IsSite;
+use scrutiny_npb::{ad_suite, Is};
 
 fn main() {
     println!(
@@ -21,12 +21,15 @@ fn main() {
             fill: FillPolicy::Garbage(0xDEAD),
             store_dir: Some(dir.clone()),
         };
-        let r = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg)
-            .expect("checkpoint I/O failed");
+        let r =
+            checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).expect("checkpoint I/O failed");
         let unc = run_campaign(
             app.as_ref(),
             &analysis,
-            &CampaignConfig { trials: 3, ..Default::default() },
+            &CampaignConfig {
+                trials: 3,
+                ..Default::default()
+            },
         );
         let crit = run_campaign(
             app.as_ref(),

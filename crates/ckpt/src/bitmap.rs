@@ -13,7 +13,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-clear bitmap of `len` elements.
     pub fn new(len: usize) -> Self {
-        Bitmap { words: vec![0; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-set bitmap (everything critical — the conservative default).
@@ -114,7 +117,9 @@ impl Bitmap {
     /// Indices whose bits differ from `other`.
     pub fn diff_indices(&self, other: &Bitmap) -> Vec<usize> {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        (0..self.len).filter(|&i| self.get(i) != other.get(i)).collect()
+        (0..self.len)
+            .filter(|&i| self.get(i) != other.get(i))
+            .collect()
     }
 
     /// Iterator over all bits in order.

@@ -97,7 +97,10 @@ pub struct VarRecord {
 impl VarRecord {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, data: VarData) -> Self {
-        VarRecord { name: name.into(), data }
+        VarRecord {
+            name: name.into(),
+            data,
+        }
     }
 }
 
@@ -244,7 +247,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 == 1 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 == 1 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             t[i] = c;
@@ -294,12 +301,19 @@ mod tests {
         let b = FillPolicy::Garbage(7).value(3);
         assert_eq!(a, b);
         assert!(a.is_finite());
-        assert_ne!(FillPolicy::Garbage(7).value(3), FillPolicy::Garbage(7).value(4));
+        assert_ne!(
+            FillPolicy::Garbage(7).value(3),
+            FillPolicy::Garbage(7).value(4)
+        );
     }
 
     #[test]
     fn storage_breakdown_totals() {
-        let s = StorageBreakdown { payload_bytes: 1024, aux_bytes: 512, header_bytes: 64 };
+        let s = StorageBreakdown {
+            payload_bytes: 1024,
+            aux_bytes: 512,
+            header_bytes: 64,
+        };
         assert_eq!(s.total(), 1600);
         assert!((s.payload_kib() - 1.0).abs() < 1e-12);
     }

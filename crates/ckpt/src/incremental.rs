@@ -75,7 +75,10 @@ impl IncrementalTracker {
     /// New tracker with a custom page size (must be non-zero).
     pub fn with_page_size(page_bytes: usize) -> Self {
         assert!(page_bytes > 0, "page size must be positive");
-        IncrementalTracker { prev: Vec::new(), page_bytes }
+        IncrementalTracker {
+            prev: Vec::new(),
+            page_bytes,
+        }
     }
 
     /// Record a checkpoint epoch: returns how much an incremental scheme
@@ -85,8 +88,7 @@ impl IncrementalTracker {
         let mut next: Vec<(String, Vec<u64>)> = Vec::with_capacity(vars.len());
         for (name, data) in vars {
             let bytes = payload_bytes(data);
-            let hashes: Vec<u64> =
-                bytes.chunks(self.page_bytes).map(page_hash).collect();
+            let hashes: Vec<u64> = bytes.chunks(self.page_bytes).map(page_hash).collect();
             let prev = self
                 .prev
                 .iter()

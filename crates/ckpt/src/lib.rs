@@ -24,6 +24,8 @@
 //!   (à la dirty-page tracking, cf. Vasavada et al. in the paper's related
 //!   work) for storage comparisons.
 
+#![warn(missing_docs)]
+
 pub mod bitmap;
 pub mod format;
 pub mod incremental;

@@ -63,17 +63,15 @@ impl LoadedVar {
             )));
         }
         let n = self.total as usize;
-        let mut out: Vec<(f64, f64)> =
-            (0..n).map(|i| (fill.value(2 * i), fill.value(2 * i + 1))).collect();
-        let pairs: Vec<(f64, f64)> =
-            self.stored.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let mut out: Vec<(f64, f64)> = (0..n)
+            .map(|i| (fill.value(2 * i), fill.value(2 * i + 1)))
+            .collect();
+        let pairs: Vec<(f64, f64)> = self.stored.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         match &self.plan {
             VarPlan::Full => out.copy_from_slice(&pairs),
             VarPlan::Pruned(regions) => {
-                let mut k = 0;
-                for i in regions.indices() {
-                    out[i as usize] = pairs[k];
-                    k += 1;
+                for (i, &p) in regions.indices().zip(pairs.iter()) {
+                    out[i as usize] = p;
                 }
             }
             VarPlan::Tiered { .. } => {
@@ -98,10 +96,8 @@ impl LoadedVar {
         match &self.plan {
             VarPlan::Full => out.copy_from_slice(&self.stored_i),
             VarPlan::Pruned(regions) => {
-                let mut k = 0;
-                for i in regions.indices() {
-                    out[i as usize] = self.stored_i[k];
-                    k += 1;
+                for (i, &v) in regions.indices().zip(self.stored_i.iter()) {
+                    out[i as usize] = v;
                 }
             }
             VarPlan::Tiered { .. } => {
@@ -115,10 +111,8 @@ impl LoadedVar {
 }
 
 fn scatter(out: &mut [f64], regions: &Regions, stored: &[f64]) {
-    let mut k = 0;
-    for i in regions.indices() {
-        out[i as usize] = stored[k];
-        k += 1;
+    for (i, &v) in regions.indices().zip(stored.iter()) {
+        out[i as usize] = v;
     }
 }
 
@@ -222,7 +216,10 @@ impl Checkpoint {
             let plan = match mode {
                 MODE_FULL => VarPlan::Full,
                 MODE_PRUNED => VarPlan::Pruned(read_runs(&mut c)?),
-                MODE_TIERED => VarPlan::Tiered { hi: read_runs(&mut c)?, lo: read_runs(&mut c)? },
+                MODE_TIERED => VarPlan::Tiered {
+                    hi: read_runs(&mut c)?,
+                    lo: read_runs(&mut c)?,
+                },
                 m => return Err(CkptError::Corrupt(format!("unknown plan mode {m}"))),
             };
             plans.push((name, plan));
@@ -303,7 +300,14 @@ impl Checkpoint {
                     "{name:?}: auxiliary file plans {planned} elements, data file stores {actual}"
                 )));
             }
-            vars.push(LoadedVar { name, dtype, total, plan, stored, stored_i });
+            vars.push(LoadedVar {
+                name,
+                dtype,
+                total,
+                plan,
+                stored,
+                stored_i,
+            });
         }
         Ok(Checkpoint { vars })
     }
@@ -346,7 +350,11 @@ mod tests {
         let vals: Vec<f64> = (0..50).map(|i| i as f64 * 1.5).collect();
         let vars = vec![VarRecord::new("u", VarData::F64(vals.clone()))];
         let ck = roundtrip(&vars, &[VarPlan::Full]);
-        let got = ck.var("u").unwrap().materialize_f64(FillPolicy::Zero).unwrap();
+        let got = ck
+            .var("u")
+            .unwrap()
+            .materialize_f64(FillPolicy::Zero)
+            .unwrap();
         assert_eq!(got, vals);
     }
 
@@ -357,12 +365,16 @@ mod tests {
         let vars = vec![VarRecord::new("u", VarData::F64(vals))];
         let plans = vec![VarPlan::Pruned(Regions::from_bitmap(&crit))];
         let ck = roundtrip(&vars, &plans);
-        let got = ck.var("u").unwrap().materialize_f64(FillPolicy::Sentinel(-9.0)).unwrap();
-        for i in 0..10 {
+        let got = ck
+            .var("u")
+            .unwrap()
+            .materialize_f64(FillPolicy::Sentinel(-9.0))
+            .unwrap();
+        for (i, &g) in got.iter().enumerate() {
             if i % 2 == 0 {
-                assert_eq!(got[i], i as f64);
+                assert_eq!(g, i as f64);
             } else {
-                assert_eq!(got[i], -9.0);
+                assert_eq!(g, -9.0);
             }
         }
     }
@@ -374,7 +386,11 @@ mod tests {
         let vars = vec![VarRecord::new("y", VarData::C128(vals.clone()))];
         let plans = vec![VarPlan::Pruned(Regions::from_bitmap(&crit))];
         let ck = roundtrip(&vars, &plans);
-        let got = ck.var("y").unwrap().materialize_c128(FillPolicy::Zero).unwrap();
+        let got = ck
+            .var("y")
+            .unwrap()
+            .materialize_c128(FillPolicy::Zero)
+            .unwrap();
         assert_eq!(&got[..6], &vals[..6]);
         assert_eq!(got[6], (0.0, 0.0));
     }
@@ -383,7 +399,10 @@ mod tests {
     fn integer_roundtrip() {
         let vars = vec![VarRecord::new("it", VarData::I64(vec![41, 42, 43]))];
         let ck = roundtrip(&vars, &[VarPlan::Full]);
-        assert_eq!(ck.var("it").unwrap().materialize_i64(0).unwrap(), vec![41, 42, 43]);
+        assert_eq!(
+            ck.var("it").unwrap().materialize_i64(0).unwrap(),
+            vec![41, 42, 43]
+        );
     }
 
     #[test]
@@ -394,7 +413,11 @@ mod tests {
         let lo = Regions::from_runs(vec![Region { start: 3, end: 4 }]);
         let plans = vec![VarPlan::Tiered { hi, lo }];
         let ck = roundtrip(&vars, &plans);
-        let got = ck.var("u").unwrap().materialize_f64(FillPolicy::Zero).unwrap();
+        let got = ck
+            .var("u")
+            .unwrap()
+            .materialize_f64(FillPolicy::Zero)
+            .unwrap();
         assert_eq!(got[0], vals[0]); // exact f64
         assert_eq!(got[1], vals[1]);
         assert_eq!(got[2], 0.0); // dropped

@@ -46,7 +46,12 @@ impl Regions {
         if total == 0 {
             Self::empty()
         } else {
-            Regions { runs: vec![Region { start: 0, end: total }] }
+            Regions {
+                runs: vec![Region {
+                    start: 0,
+                    end: total,
+                }],
+            }
         }
     }
 
@@ -73,14 +78,20 @@ impl Regions {
             match (bits.get(i), start) {
                 (true, None) => start = Some(i),
                 (false, Some(s)) => {
-                    runs.push(Region { start: s as u64, end: i as u64 });
+                    runs.push(Region {
+                        start: s as u64,
+                        end: i as u64,
+                    });
                     start = None;
                 }
                 _ => {}
             }
         }
         if let Some(s) = start {
-            runs.push(Region { start: s as u64, end: bits.len() as u64 });
+            runs.push(Region {
+                start: s as u64,
+                end: bits.len() as u64,
+            });
         }
         Regions { runs }
     }
@@ -144,12 +155,18 @@ impl Regions {
         let mut cursor = 0u64;
         for r in &self.runs {
             if r.start > cursor {
-                runs.push(Region { start: cursor, end: r.start });
+                runs.push(Region {
+                    start: cursor,
+                    end: r.start,
+                });
             }
             cursor = r.end;
         }
         if cursor < total {
-            runs.push(Region { start: cursor, end: total });
+            runs.push(Region {
+                start: cursor,
+                end: total,
+            });
         }
         Regions { runs }
     }

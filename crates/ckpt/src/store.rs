@@ -22,7 +22,11 @@ impl CheckpointStore {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let next_version = Self::scan_versions(&dir)?.last().map_or(0, |v| v + 1);
-        Ok(CheckpointStore { dir, keep, next_version })
+        Ok(CheckpointStore {
+            dir,
+            keep,
+            next_version,
+        })
     }
 
     fn scan_versions(dir: &Path) -> Result<Vec<u64>, CkptError> {
@@ -30,7 +34,10 @@ impl CheckpointStore {
         for entry in fs::read_dir(dir)? {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
-            if let Some(num) = name.strip_prefix("ckpt_").and_then(|s| s.strip_suffix(".data")) {
+            if let Some(num) = name
+                .strip_prefix("ckpt_")
+                .and_then(|s| s.strip_suffix(".data"))
+            {
                 if let Ok(v) = num.parse::<u64>() {
                     versions.push(v);
                 }
@@ -118,7 +125,11 @@ mod tests {
             store.save(&var(i as f64), &[VarPlan::Full]).unwrap();
         }
         let ck = store.load_latest().unwrap();
-        let x = ck.var("x").unwrap().materialize_f64(FillPolicy::Zero).unwrap();
+        let x = ck
+            .var("x")
+            .unwrap()
+            .materialize_f64(FillPolicy::Zero)
+            .unwrap();
         assert_eq!(x, vec![2.0; 4]);
         fs::remove_dir_all(&dir).unwrap();
     }

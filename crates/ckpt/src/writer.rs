@@ -122,7 +122,10 @@ fn validate(vars: &[VarRecord], plans: &[VarPlan]) -> Result<(), CkptError> {
 }
 
 /// Serialize the data file; returns `(bytes, payload_bytes)`.
-pub fn serialize_data(vars: &[VarRecord], plans: &[VarPlan]) -> Result<(Vec<u8>, usize), CkptError> {
+pub fn serialize_data(
+    vars: &[VarRecord],
+    plans: &[VarPlan],
+) -> Result<(Vec<u8>, usize), CkptError> {
     validate(vars, plans)?;
     let mut out = Vec::new();
     out.extend_from_slice(DATA_MAGIC);
@@ -141,14 +144,16 @@ pub fn serialize_data(vars: &[VarRecord], plans: &[VarPlan]) -> Result<(Vec<u8>,
             VarPlan::Full => {
                 let n = v.data.len();
                 put_u64(&mut out, n as u64);
-                payload += write_elements(&mut out, &v.data, (0..n as u64).collect::<Vec<_>>().iter().copied());
+                payload += write_elements(&mut out, &v.data, 0..n as u64);
             }
             VarPlan::Pruned(r) => {
                 put_u64(&mut out, r.covered());
                 payload += write_elements(&mut out, &v.data, r.indices());
             }
             VarPlan::Tiered { hi, lo } => {
-                let VarData::F64(ref vals) = v.data else { unreachable!("validated above") };
+                let VarData::F64(ref vals) = v.data else {
+                    unreachable!("validated above")
+                };
                 put_u64(&mut out, hi.covered());
                 for i in hi.indices() {
                     out.extend_from_slice(&vals[i as usize].to_le_bytes());
@@ -226,7 +231,11 @@ pub fn serialize(vars: &[VarRecord], plans: &[VarPlan]) -> Result<SerializedChec
     let (aux, pair_bytes) = serialize_aux(vars, plans);
     let header_bytes = data.len() - payload_bytes + (aux.len() - pair_bytes);
     Ok(SerializedCheckpoint {
-        breakdown: StorageBreakdown { payload_bytes, aux_bytes: pair_bytes, header_bytes },
+        breakdown: StorageBreakdown {
+            payload_bytes,
+            aux_bytes: pair_bytes,
+            header_bytes,
+        },
         data,
         aux,
     })
@@ -301,7 +310,10 @@ mod tests {
     #[test]
     fn tiered_requires_f64() {
         let vars = vec![VarRecord::new("y", VarData::C128(vec![(0.0, 0.0)]))];
-        let plans = vec![VarPlan::Tiered { hi: Regions::all(1), lo: Regions::empty() }];
+        let plans = vec![VarPlan::Tiered {
+            hi: Regions::all(1),
+            lo: Regions::empty(),
+        }];
         assert!(matches!(
             serialize(&vars, &plans),
             Err(CkptError::PlanMismatch(_))
@@ -329,7 +341,10 @@ mod tests {
         let plans = vec![VarPlan::Full, VarPlan::Full, VarPlan::Full];
         let bd = write_checkpoint(&dir, 3, &vars, &plans).unwrap();
         let (d, a) = file_names(&dir, 3);
-        assert_eq!(fs::metadata(&d).unwrap().len() as usize + fs::metadata(&a).unwrap().len() as usize, bd.total());
+        assert_eq!(
+            fs::metadata(&d).unwrap().len() as usize + fs::metadata(&a).unwrap().len() as usize,
+            bd.total()
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

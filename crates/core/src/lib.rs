@@ -27,6 +27,35 @@
 //! checkpoint boundary with mutable views of every checkpoint variable.
 //! See [`tiny::Heat1d`] for a complete minimal example, and the
 //! `scrutiny-npb` crate for the eight NPB ports used in the paper.
+//!
+//! ## Example: scrutinize, then verify by restart
+//!
+//! ```
+//! use scrutiny_core::tiny::Heat1d;
+//! use scrutiny_core::{
+//!     checkpoint_restart_cycle, scrutinize, FillPolicy, Policy, RestartConfig,
+//! };
+//!
+//! // 1-D heat diffusion: live state, tail padding, and a scratch array.
+//! let app = Heat1d::new(32, 20, 10);
+//!
+//! // One AD run + one reverse sweep classifies every checkpointed element.
+//! let analysis = scrutinize(&app);
+//! assert_eq!(analysis.vars.len(), 3);
+//!
+//! // A pruned checkpoint restored with garbage in the uncritical holes
+//! // must still reproduce the uninterrupted run's output (paper §IV.C).
+//! let cfg = RestartConfig {
+//!     policy: Policy::PrunedValue,
+//!     fill: FillPolicy::Garbage(42),
+//!     store_dir: None,
+//! };
+//! let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
+//! assert!(report.verified);
+//! assert!(report.storage.total() < report.full_storage.total());
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod app;

@@ -49,9 +49,8 @@ pub fn plans_for(report: &AnalysisReport, policy: Policy) -> Vec<VarPlan> {
                     }
                     let n = v.total();
                     let hi = Bitmap::from_fn(n, |i| v.grad_mag[i] >= hi_threshold);
-                    let lo = Bitmap::from_fn(n, |i| {
-                        v.grad_mag[i] > 0.0 && v.grad_mag[i] < hi_threshold
-                    });
+                    let lo =
+                        Bitmap::from_fn(n, |i| v.grad_mag[i] > 0.0 && v.grad_mag[i] < hi_threshold);
                     VarPlan::Tiered {
                         hi: Regions::from_bitmap(&hi),
                         lo: Regions::from_bitmap(&lo),
@@ -129,12 +128,21 @@ mod tests {
         let r = report();
         // Threshold 0: everything critical lands in hi.
         let plans = plans_for(&r, Policy::Tiered { hi_threshold: 0.0 });
-        let VarPlan::Tiered { ref hi, ref lo } = plans[0] else { panic!() };
+        let VarPlan::Tiered { ref hi, ref lo } = plans[0] else {
+            panic!()
+        };
         assert!(lo.is_empty());
         assert!(hi.covered() > 0);
         // Huge threshold: everything critical lands in lo.
-        let plans = plans_for(&r, Policy::Tiered { hi_threshold: 1e300 });
-        let VarPlan::Tiered { ref hi, ref lo } = plans[0] else { panic!() };
+        let plans = plans_for(
+            &r,
+            Policy::Tiered {
+                hi_threshold: 1e300,
+            },
+        );
+        let VarPlan::Tiered { ref hi, ref lo } = plans[0] else {
+            panic!()
+        };
         assert!(hi.is_empty());
         assert!(lo.covered() > 0);
     }

@@ -9,7 +9,10 @@ use scrutiny_ckpt::{CkptError, VarPlan, VarRecord};
 /// Table I: manually identified variables necessary for checkpointing.
 pub fn format_table1(specs: &[AppSpec]) -> String {
     let mut out = String::from("Table I: variables necessary for checkpointing (class S)\n");
-    out.push_str(&format!("{:<6} {}\n", "Name", "Variables and their data structures"));
+    out.push_str(&format!(
+        "{:<6} {}\n",
+        "Name", "Variables and their data structures"
+    ));
     for app in specs {
         let decls: Vec<String> = app.vars.iter().map(|v| v.declaration()).collect();
         out.push_str(&format!("{:<6} {}\n", app.name, decls.join(", ")));
@@ -91,10 +94,7 @@ impl Table3Row {
 }
 
 /// Compute a Table III row from captured state and an analysis report.
-pub fn table3_row(
-    report: &AnalysisReport,
-    captured: &[VarRecord],
-) -> Result<Table3Row, CkptError> {
+pub fn table3_row(report: &AnalysisReport, captured: &[VarRecord]) -> Result<Table3Row, CkptError> {
     let full_plans: Vec<VarPlan> = captured.iter().map(|_| VarPlan::Full).collect();
     let pruned_plans = plans_for(report, Policy::PrunedValue);
     let full = serialize(captured, &full_plans)?.breakdown;
@@ -140,7 +140,10 @@ mod tests {
         let spec = AppSpec {
             name: "BT".into(),
             class: "S".into(),
-            vars: vec![VarSpec::f64("u", &[12, 13, 13, 5]), VarSpec::int_scalar("step")],
+            vars: vec![
+                VarSpec::f64("u", &[12, 13, 13, 5]),
+                VarSpec::int_scalar("step"),
+            ],
         };
         let s = format_table1(&[spec]);
         assert!(s.contains("BT"));

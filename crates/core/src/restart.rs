@@ -13,8 +13,8 @@ use crate::plan::{plans_for, Policy};
 use crate::site::{CaptureSite, NoopSite, RestoreSite};
 use scrutiny_ckpt::writer::serialize;
 use scrutiny_ckpt::{
-    Checkpoint, CheckpointStore, CkptError, DType, FillPolicy, StorageBreakdown, VarData,
-    VarPlan, VarRecord,
+    Checkpoint, CheckpointStore, CkptError, DType, FillPolicy, StorageBreakdown, VarData, VarPlan,
+    VarRecord,
 };
 use std::path::PathBuf;
 
@@ -115,7 +115,10 @@ pub fn restart_with_mutation(
     // state overwritten at the boundary, remainder recomputed).
     let mut site = RestoreSite::new(bufs);
     let restarted = app.run_f64(&mut site).output;
-    assert!(site.applied, "the run never reached its checkpoint boundary");
+    assert!(
+        site.applied,
+        "the run never reached its checkpoint boundary"
+    );
 
     let abs_err = (restarted - golden).abs();
     let rel_err = abs_err / golden.abs().max(1.0);
@@ -170,8 +173,7 @@ mod tests {
     fn clean_restart_verifies_with_garbage_fill() {
         let app = Heat1d::new(16, 10, 5);
         let analysis = scrutinize(&app);
-        let report =
-            checkpoint_restart_cycle(&app, &analysis, &RestartConfig::default()).unwrap();
+        let report = checkpoint_restart_cycle(&app, &analysis, &RestartConfig::default()).unwrap();
         assert!(report.verified, "rel err {}", report.rel_err);
         assert!(report.storage.total() < report.full_storage.total());
     }
@@ -182,7 +184,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let app = Heat1d::new(12, 8, 3);
         let analysis = scrutinize(&app);
-        let cfg = RestartConfig { store_dir: Some(dir.clone()), ..Default::default() };
+        let cfg = RestartConfig {
+            store_dir: Some(dir.clone()),
+            ..Default::default()
+        };
         let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
         assert!(report.verified);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -235,7 +240,10 @@ mod tests {
     fn full_policy_reproduces_exactly() {
         let app = Heat1d::new(8, 6, 2);
         let analysis = scrutinize(&app);
-        let cfg = RestartConfig { policy: Policy::Full, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::Full,
+            ..Default::default()
+        };
         let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
         assert_eq!(report.abs_err, 0.0, "full restore must be bit-exact");
     }

@@ -94,9 +94,7 @@ impl CkptSite<f64> for CaptureSite {
         for v in vars.iter() {
             self.vars.push(match v {
                 VarRefMut::F64(s) => VarData::F64(s.to_vec()),
-                VarRefMut::C128(s) => {
-                    VarData::C128(s.iter().map(|c| (c.re, c.im)).collect())
-                }
+                VarRefMut::C128(s) => VarData::C128(s.iter().map(|c| (c.re, c.im)).collect()),
                 VarRefMut::I64(s) => VarData::I64(s.to_vec()),
             });
         }
@@ -193,7 +191,10 @@ pub struct RestoreSite {
 impl RestoreSite {
     /// Restore from the given buffers (spec order).
     pub fn new(bufs: Vec<VarData>) -> Self {
-        RestoreSite { bufs, applied: false }
+        RestoreSite {
+            bufs,
+            applied: false,
+        }
     }
 }
 

@@ -17,17 +17,29 @@ pub struct VarSpec {
 impl VarSpec {
     /// A double array with the given shape.
     pub fn f64(name: impl Into<String>, shape: &[usize]) -> Self {
-        VarSpec { name: name.into(), dtype: DType::F64, shape: shape.to_vec() }
+        VarSpec {
+            name: name.into(),
+            dtype: DType::F64,
+            shape: shape.to_vec(),
+        }
     }
 
     /// A `dcomplex` array with the given shape.
     pub fn c128(name: impl Into<String>, shape: &[usize]) -> Self {
-        VarSpec { name: name.into(), dtype: DType::C128, shape: shape.to_vec() }
+        VarSpec {
+            name: name.into(),
+            dtype: DType::C128,
+            shape: shape.to_vec(),
+        }
     }
 
     /// An integer array with the given shape.
     pub fn i64(name: impl Into<String>, shape: &[usize]) -> Self {
-        VarSpec { name: name.into(), dtype: DType::I64, shape: shape.to_vec() }
+        VarSpec {
+            name: name.into(),
+            dtype: DType::I64,
+            shape: shape.to_vec(),
+        }
     }
 
     /// An integer scalar (loop index and similar control state).
@@ -107,7 +119,10 @@ mod tests {
             "double u[12][13][13][5]"
         );
         assert_eq!(VarSpec::int_scalar("step").declaration(), "int step");
-        assert_eq!(VarSpec::c128("sums", &[6]).declaration(), "dcomplex sums[6]");
+        assert_eq!(
+            VarSpec::c128("sums", &[6]).declaration(),
+            "dcomplex sums[6]"
+        );
     }
 
     #[test]
@@ -115,7 +130,10 @@ mod tests {
         let app = AppSpec {
             name: "BT".into(),
             class: "S".into(),
-            vars: vec![VarSpec::f64("u", &[12, 13, 13, 5]), VarSpec::int_scalar("step")],
+            vars: vec![
+                VarSpec::f64("u", &[12, 13, 13, 5]),
+                VarSpec::int_scalar("step"),
+            ],
         };
         assert_eq!(app.full_bytes(), 81120 + 8);
         assert!(app.var("u").is_some());

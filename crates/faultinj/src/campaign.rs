@@ -8,8 +8,8 @@
 
 use crate::corruption::Corruption;
 use scrutiny_core::{
-    restart::restart_with_mutation, AnalysisReport, FillPolicy, Policy, RestartConfig,
-    ScrutinyApp, VarData,
+    restart::restart_with_mutation, AnalysisReport, FillPolicy, Policy, RestartConfig, ScrutinyApp,
+    VarData,
 };
 
 /// Which element population to corrupt.
@@ -149,7 +149,10 @@ mod tests {
     fn uncritical_campaign_always_verifies() {
         let app = Heat1d::new(16, 10, 5);
         let analysis = scrutinize(&app);
-        let cfg = CampaignConfig { trials: 6, ..Default::default() };
+        let cfg = CampaignConfig {
+            trials: 6,
+            ..Default::default()
+        };
         let report = run_campaign(&app, &analysis, &cfg);
         assert_eq!(report.failed, 0, "uncritical corruption must be harmless");
         assert!(report.corrupted_elems > 0);

@@ -17,8 +17,8 @@
 
 use crate::common::Arr4;
 use crate::pde::{
-    blend_init, error_norm, mat5_axpy, mat5_identity, BlockTriSolver, ExactSolution, Mat5, GP,
-    GP1, NCOMP,
+    blend_init, error_norm, mat5_axpy, mat5_identity, BlockTriSolver, ExactSolution, Mat5, GP, GP1,
+    NCOMP,
 };
 use scrutiny_ad::{Adj, Real};
 use scrutiny_core::{AppSpec, CkptSite, RunOutcome, ScrutinyApp, VarRefMut, VarSpec};
@@ -51,7 +51,10 @@ impl Bt {
 
     /// General constructor.
     pub fn new(niter: usize, ckpt_at: usize) -> Self {
-        assert!(ckpt_at >= 1 && ckpt_at <= niter, "checkpoint must fall inside the main loop");
+        assert!(
+            ckpt_at >= 1 && ckpt_at <= niter,
+            "checkpoint must fall inside the main loop"
+        );
         let dt = 0.3;
         let nu = 0.4;
         // Symmetric cross-component coupling: a second diffusion channel.
@@ -331,7 +334,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let bt = Bt::mini();
-        assert_eq!(bt.run_f64(&mut NoopSite).output, bt.run_f64(&mut NoopSite).output);
+        assert_eq!(
+            bt.run_f64(&mut NoopSite).output,
+            bt.run_f64(&mut NoopSite).output
+        );
     }
 
     #[test]
@@ -341,7 +347,11 @@ mod tests {
         let u = report.var("u").unwrap();
         assert_eq!(u.total(), 10_140);
         assert_eq!(u.critical(), 8_640, "critical must be 12³×5");
-        assert_eq!(u.uncritical(), 1_500, "uncritical must be the j=12/i=12 planes");
+        assert_eq!(
+            u.uncritical(),
+            1_500,
+            "uncritical must be the j=12/i=12 planes"
+        );
         // Verify the geometric pattern: uncritical ⇔ j == 12 or i == 12.
         for k in 0..GP {
             for j in 0..GP1 {
@@ -364,7 +374,10 @@ mod tests {
     fn restart_with_garbage_holes_verifies() {
         let bt = Bt::mini();
         let analysis = scrutinize(&bt);
-        let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::PrunedValue,
+            ..Default::default()
+        };
         let report = scrutiny_core::checkpoint_restart_cycle(&bt, &analysis, &cfg).unwrap();
         assert!(report.verified, "rel err {}", report.rel_err);
     }

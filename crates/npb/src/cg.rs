@@ -49,12 +49,23 @@ impl Cg {
         shift: f64,
         ckpt_at: usize,
     ) -> Self {
-        assert!(ckpt_at >= 1 && ckpt_at <= niter, "checkpoint must fall inside the main loop");
+        assert!(
+            ckpt_at >= 1 && ckpt_at <= niter,
+            "checkpoint must fall inside the main loop"
+        );
         // The matrix is program input regenerated deterministically at
         // restart; it is not a checkpoint variable (matching NPB, which
         // rebuilds it in `makea` from the same seed).
         let matrix = SparseMatrix::random_spd(na, nonzer, shift, RANDLC_SEED);
-        Cg { na, nonzer, niter, inner, shift, ckpt_at, matrix }
+        Cg {
+            na,
+            nonzer,
+            niter,
+            inner,
+            shift,
+            ckpt_at,
+            matrix,
+        }
     }
 
     /// One `conj_grad` call: approximately solve `A z = x`, returning `z`
@@ -118,7 +129,11 @@ impl ScrutinyApp for Cg {
     fn spec(&self) -> AppSpec {
         AppSpec {
             name: "CG".into(),
-            class: if self.na == 1400 { "S".into() } else { format!("na={}", self.na) },
+            class: if self.na == 1400 {
+                "S".into()
+            } else {
+                format!("na={}", self.na)
+            },
             vars: vec![VarSpec::f64("x", &[self.na + 2]), VarSpec::int_scalar("it")],
         }
     }
@@ -173,7 +188,10 @@ mod tests {
         let x = vec![1.0f64; cg.na + 2];
         let (_, rnorm) = cg.conj_grad(&x);
         let x_norm = dot(&x[..cg.na], &x[..cg.na]).sqrt();
-        assert!(rnorm < 1e-6 * x_norm, "CG failed to reduce the residual: {rnorm}");
+        assert!(
+            rnorm < 1e-6 * x_norm,
+            "CG failed to reduce the residual: {rnorm}"
+        );
     }
 
     #[test]
@@ -182,7 +200,11 @@ mod tests {
         let report = scrutinize(&cg);
         let x = report.var("x").unwrap();
         assert_eq!(x.total(), cg.na + 2);
-        assert_eq!(x.uncritical(), 2, "exactly the two tail slots are uncritical");
+        assert_eq!(
+            x.uncritical(),
+            2,
+            "exactly the two tail slots are uncritical"
+        );
         assert!(!x.value_map.get(cg.na));
         assert!(!x.value_map.get(cg.na + 1));
         let it = report.var("it").unwrap();
@@ -206,9 +228,6 @@ mod tests {
     fn criticality_stable_across_checkpoint_positions() {
         let a = scrutinize(&Cg::new(64, 3, 6, 10, 8.0, 2));
         let b = scrutinize(&Cg::new(64, 3, 6, 10, 8.0, 5));
-        assert_eq!(
-            a.var("x").unwrap().value_map,
-            b.var("x").unwrap().value_map
-        );
+        assert_eq!(a.var("x").unwrap().value_map, b.var("x").unwrap().value_map);
     }
 }

@@ -23,12 +23,18 @@ pub struct Randlc {
 impl Randlc {
     /// Generator with NPB's default multiplier.
     pub fn new(seed: u64) -> Self {
-        Randlc { x: seed & M46, a: RANDLC_A }
+        Randlc {
+            x: seed & M46,
+            a: RANDLC_A,
+        }
     }
 
     /// Generator with an explicit multiplier (both mod 2^46).
     pub fn with_multiplier(seed: u64, a: u64) -> Self {
-        Randlc { x: seed & M46, a: a & M46 }
+        Randlc {
+            x: seed & M46,
+            a: a & M46,
+        }
     }
 
     /// Next uniform deviate in (0, 1).
@@ -88,7 +94,10 @@ pub struct Arr3<R> {
 impl<R: Real> Arr3<R> {
     /// Zero-initialized array of the given dims.
     pub fn zeros(d0: usize, d1: usize, d2: usize) -> Self {
-        Arr3 { data: vec![R::zero(); d0 * d1 * d2], dims: [d0, d1, d2] }
+        Arr3 {
+            data: vec![R::zero(); d0 * d1 * d2],
+            dims: [d0, d1, d2],
+        }
     }
 
     /// Dimensions.
@@ -140,7 +149,10 @@ pub struct Arr4<R> {
 impl<R: Real> Arr4<R> {
     /// Zero-initialized array of the given dims.
     pub fn zeros(d0: usize, d1: usize, d2: usize, d3: usize) -> Self {
-        Arr4 { data: vec![R::zero(); d0 * d1 * d2 * d3], dims: [d0, d1, d2, d3] }
+        Arr4 {
+            data: vec![R::zero(); d0 * d1 * d2 * d3],
+            dims: [d0, d1, d2, d3],
+        }
     }
 
     /// Dimensions.
@@ -160,9 +172,7 @@ impl<R: Real> Arr4<R> {
 
     #[inline]
     fn offset(&self, k: usize, j: usize, i: usize, m: usize) -> usize {
-        debug_assert!(
-            k < self.dims[0] && j < self.dims[1] && i < self.dims[2] && m < self.dims[3]
-        );
+        debug_assert!(k < self.dims[0] && j < self.dims[1] && i < self.dims[2] && m < self.dims[3]);
         ((k * self.dims[1] + j) * self.dims[2] + i) * self.dims[3] + m
     }
 }
@@ -245,7 +255,12 @@ impl SparseMatrix {
             }
             rowptr.push(col.len());
         }
-        SparseMatrix { n, rowptr, col, val }
+        SparseMatrix {
+            n,
+            rowptr,
+            col,
+            val,
+        }
     }
 
     /// Matrix dimension.
@@ -334,6 +349,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spell out the full (i1*d2 + i2)*d3 + i3 layout formula
     fn arr3_layout_is_row_major() {
         let mut a: Arr3<f64> = Arr3::zeros(2, 3, 4);
         a[(1, 2, 3)] = 9.0;

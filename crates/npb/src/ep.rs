@@ -41,8 +41,15 @@ impl Ep {
         assert!(m > mk, "need at least two batches");
         let nk = 1usize << mk;
         let batches = 1usize << (m - mk);
-        assert!(ckpt_at < batches, "checkpoint must fall inside the batch loop");
-        Ep { nk, batches, ckpt_at }
+        assert!(
+            ckpt_at < batches,
+            "checkpoint must fall inside the batch loop"
+        );
+        Ep {
+            nk,
+            batches,
+            ckpt_at,
+        }
     }
 
     /// Gaussian-acceptance statistics of one batch, in plain f64 (data-
@@ -199,7 +206,10 @@ mod tests {
     fn restart_is_bit_exact() {
         let ep = Ep::mini();
         let analysis = scrutinize(&ep);
-        let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::PrunedValue,
+            ..Default::default()
+        };
         let report = scrutiny_core::checkpoint_restart_cycle(&ep, &analysis, &cfg).unwrap();
         assert!(report.verified);
         assert_eq!(report.abs_err, 0.0, "accumulator restart must be exact");

@@ -54,8 +54,17 @@ impl Ft {
         for n in [nx, ny, nz] {
             assert!(n.is_power_of_two(), "FFT extents must be powers of two");
         }
-        assert!(ckpt_at >= 1 && ckpt_at <= niter, "checkpoint must fall inside the main loop");
-        Ft { nx, ny, nz, niter, ckpt_at }
+        assert!(
+            ckpt_at >= 1 && ckpt_at <= niter,
+            "checkpoint must fall inside the main loop"
+        );
+        Ft {
+            nx,
+            ny,
+            nz,
+            niter,
+            ckpt_at,
+        }
     }
 
     /// Padded x extent (NPB pads the fastest axis by one to dodge cache
@@ -264,7 +273,11 @@ impl ScrutinyApp for Ft {
     fn spec(&self) -> AppSpec {
         AppSpec {
             name: "FT".into(),
-            class: if self.nx == 64 { "S".into() } else { format!("{}^3", self.nx) },
+            class: if self.nx == 64 {
+                "S".into()
+            } else {
+                format!("{}^3", self.nx)
+            },
             vars: vec![
                 VarSpec::c128("y", &[self.nz, self.ny, self.xpad()]),
                 VarSpec::c128("sums", &[self.niter]),
@@ -288,7 +301,8 @@ impl ScrutinyApp for Ft {
     fn tape_capacity_hint(&self) -> usize {
         let remaining = self.niter - self.ckpt_at + 1;
         let logical = self.nx * self.ny * self.nz;
-        let stages = (self.nx.trailing_zeros() + self.ny.trailing_zeros()
+        let stages = (self.nx.trailing_zeros()
+            + self.ny.trailing_zeros()
             + self.nz.trailing_zeros()) as usize;
         remaining * logical * (2 + 5 * stages) + (1 << 16)
     }
@@ -405,7 +419,10 @@ mod tests {
     fn restart_with_garbage_holes_verifies() {
         let ft = Ft::mini();
         let analysis = scrutinize(&ft);
-        let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::PrunedValue,
+            ..Default::default()
+        };
         let report = scrutiny_core::checkpoint_restart_cycle(&ft, &analysis, &cfg).unwrap();
         assert!(report.verified, "rel err {}", report.rel_err);
     }

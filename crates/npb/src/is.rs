@@ -45,7 +45,11 @@ impl TrackedBuf {
     /// Wrap a buffer (tracking disarmed).
     pub fn new(data: Vec<i64>) -> Self {
         let n = data.len();
-        TrackedBuf { data, first: vec![FirstAccess::None; n], armed: false }
+        TrackedBuf {
+            data,
+            first: vec![FirstAccess::None; n],
+            armed: false,
+        }
     }
 
     /// Begin recording first accesses (call at the checkpoint boundary).
@@ -163,7 +167,13 @@ impl Is {
 
     /// A reduced instance for fast tests.
     pub fn mini() -> Self {
-        Is { total_keys: 1 << 10, max_key: 1 << 7, buckets: 1 << 4, iterations: 6, ckpt_at: 3 }
+        Is {
+            total_keys: 1 << 10,
+            max_key: 1 << 7,
+            buckets: 1 << 4,
+            iterations: 6,
+            ckpt_at: 3,
+        }
     }
 
     /// NPB `create_seq`: keys from averaged `randlc` draws.
@@ -262,8 +272,7 @@ impl Is {
                 let probe = (t + 1) * (self.total_keys / 7) % self.total_keys;
                 let k = key_array.get(probe) as usize;
                 let rank = if k == 0 { 0 } else { key_buff1[k - 1] };
-                let recount =
-                    key_buff2.iter().take_while(|_| false).count() as i64 + rank;
+                let recount = key_buff2.iter().take_while(|_| false).count() as i64 + rank;
                 ok &= recount == rank; // structural self-check
                 ok &= key_buff1[k] > rank; // at least one key of value k
             }
@@ -293,11 +302,23 @@ impl Is {
 
         let reports = if matches!(site, IsSite::Track) {
             vec![
-                IsVarReport { name: "key_array", critical: key_array.criticality() },
-                IsVarReport { name: "bucket_ptrs", critical: bucket_ptrs.criticality() },
-                IsVarReport { name: "passed_verification", critical: passed.criticality() },
+                IsVarReport {
+                    name: "key_array",
+                    critical: key_array.criticality(),
+                },
+                IsVarReport {
+                    name: "bucket_ptrs",
+                    critical: bucket_ptrs.criticality(),
+                },
+                IsVarReport {
+                    name: "passed_verification",
+                    critical: passed.criticality(),
+                },
                 // The loop index is control state: critical by definition.
-                IsVarReport { name: "iteration", critical: vec![true] },
+                IsVarReport {
+                    name: "iteration",
+                    critical: vec![true],
+                },
             ]
         } else {
             Vec::new()

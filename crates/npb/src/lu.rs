@@ -57,7 +57,10 @@ impl Lu {
 
     /// General constructor.
     pub fn new(niter: usize, ckpt_at: usize) -> Self {
-        assert!(ckpt_at >= 1 && ckpt_at <= niter, "checkpoint must fall inside the main loop");
+        assert!(
+            ckpt_at >= 1 && ckpt_at <= niter,
+            "checkpoint must fall inside the main loop"
+        );
         let mut lu = Lu {
             niter,
             ckpt_at,
@@ -119,13 +122,7 @@ impl Lu {
     /// cells (NPB initializes `rsd = -frct` over the whole grid), so
     /// boundary residuals are non-zero — they are read by the norm and by
     /// nothing else.
-    fn compute_rsd<R: Real>(
-        &self,
-        u: &Arr4<R>,
-        rho_i: &Arr3<R>,
-        qs: &Arr3<R>,
-        rsd: &mut Arr4<R>,
-    ) {
+    fn compute_rsd<R: Real>(&self, u: &Arr4<R>, rho_i: &Arr3<R>, qs: &Arr3<R>, rsd: &mut Arr4<R>) {
         for k in 0..GP {
             for j in 0..GP {
                 for i in 0..GP {
@@ -230,8 +227,9 @@ impl Lu {
                 let y = ExactSolution::coord(j);
                 for i in 0..GP {
                     let x = ExactSolution::coord(i);
-                    let interior =
-                        k >= 1 && k < GP - 1 && j >= 1 && j < GP - 1 && i >= 1 && i < GP - 1;
+                    let interior = (1..GP - 1).contains(&k)
+                        && (1..GP - 1).contains(&j)
+                        && (1..GP - 1).contains(&i);
                     for m in 0..NCOMP {
                         f[(k, j, i, m)] = if interior {
                             // compute_rsd produced dt·N(u_exact); cancel it.
@@ -315,8 +313,7 @@ impl Lu {
                 for j in 1..GP - 1 {
                     for i in 1..GP - 1 {
                         let dcoef = R::one()
-                            / (R::one()
-                                + (rho_i[(k, j, i)] + qs[(k, j, i)] * 0.1) * self.dt);
+                            / (R::one() + (rho_i[(k, j, i)] + qs[(k, j, i)] * 0.1) * self.dt);
                         for m in 0..NCOMP {
                             let tv = rsd[(k, j, i, m)]
                                 + (rsd[(k - 1, j, i, m)]
@@ -333,8 +330,7 @@ impl Lu {
                 for j in (1..GP - 1).rev() {
                     for i in (1..GP - 1).rev() {
                         let dcoef = R::one()
-                            / (R::one()
-                                + (rho_i[(k, j, i)] + qs[(k, j, i)] * 0.1) * self.dt);
+                            / (R::one() + (rho_i[(k, j, i)] + qs[(k, j, i)] * 0.1) * self.dt);
                         for m in 0..NCOMP {
                             let corr = (rsd[(k + 1, j, i, m)]
                                 + rsd[(k, j + 1, i, m)]
@@ -519,7 +515,10 @@ mod tests {
     fn restart_with_garbage_holes_verifies() {
         let lu = Lu::mini();
         let analysis = scrutinize(&lu);
-        let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::PrunedValue,
+            ..Default::default()
+        };
         let report = scrutiny_core::checkpoint_restart_cycle(&lu, &analysis, &cfg).unwrap();
         assert!(report.verified, "rel err {}", report.rel_err);
     }

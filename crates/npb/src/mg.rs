@@ -65,7 +65,10 @@ impl Mg {
     /// (NPB's `NR` formula leaves slack beyond the packed levels).
     pub fn new(lt: usize, nit: usize, ckpt_at: usize, pad_to: Option<usize>) -> Self {
         assert!(lt >= 2, "need at least two levels");
-        assert!(ckpt_at >= 1 && ckpt_at <= nit, "checkpoint must fall inside the main loop");
+        assert!(
+            ckpt_at >= 1 && ckpt_at <= nit,
+            "checkpoint must fall inside the main loop"
+        );
         let mut m = vec![0usize; lt + 1];
         for (k, mk) in m.iter_mut().enumerate().skip(1) {
             *mk = (1 << k) + 2;
@@ -86,7 +89,15 @@ impl Mg {
         };
         let nf = m[lt];
         let v = Self::zran3(nf);
-        Mg { lt, nit, ckpt_at, m, ir, total, v }
+        Mg {
+            lt,
+            nit,
+            ckpt_at,
+            m,
+            ir,
+            total,
+            v,
+        }
     }
 
     /// Total flat array length (u and r).
@@ -158,7 +169,14 @@ impl Mg {
     /// Weighted 27-point application: `out[c] (+|=) Σ w[|d|]·inp[c+d]`.
     /// Zero weights are skipped (NPB's `a[1] = 0` case), which also keeps
     /// them off the AD tape.
-    fn stencil_sum<R: Real>(inp: &[R], n: usize, i3: usize, i2: usize, i1: usize, w: &Weights) -> R {
+    fn stencil_sum<R: Real>(
+        inp: &[R],
+        n: usize,
+        i3: usize,
+        i2: usize,
+        i1: usize,
+        w: &Weights,
+    ) -> R {
         let mut acc = R::zero();
         for d3 in -1i32..=1 {
             for d2 in -1i32..=1 {
@@ -188,8 +206,7 @@ impl Mg {
             for i2 in 1..n - 1 {
                 for i1 in 1..n - 1 {
                     let au = Self::stencil_sum(u, n, i3, i2, i1, &A_STENCIL);
-                    r[Self::idx(n, i3, i2, i1)] =
-                        R::lit(self.v[Self::idx(n, i3, i2, i1)]) - au;
+                    r[Self::idx(n, i3, i2, i1)] = R::lit(self.v[Self::idx(n, i3, i2, i1)]) - au;
                 }
             }
         }
@@ -203,7 +220,7 @@ impl Mg {
                 for i1 in 1..n - 1 {
                     let au = Self::stencil_sum(u, n, i3, i2, i1, &A_STENCIL);
                     let c = Self::idx(n, i3, i2, i1);
-                    r[c] = r[c] - au;
+                    r[c] -= au;
                 }
             }
         }
@@ -267,7 +284,7 @@ impl Mg {
                     // coarse point; even sits between two.
                     let support = |f: usize| -> [(usize, f64); 2] {
                         if f % 2 == 1 {
-                            [((f + 1) / 2, 1.0), (0, 0.0)]
+                            [(f.div_ceil(2), 1.0), (0, 0.0)]
                         } else {
                             [(f / 2, 0.5), (f / 2 + 1, 0.5)]
                         }
@@ -389,7 +406,9 @@ impl Mg {
             // Recompute the true residual of the updated solution.
             self.resid_finest(&u[..n * n * n], &mut r[..n * n * n]);
         }
-        RunOutcome { output: Self::l2norm(&r[..n * n * n], n) }
+        RunOutcome {
+            output: Self::l2norm(&r[..n * n * n], n),
+        }
     }
 }
 
@@ -397,7 +416,11 @@ impl ScrutinyApp for Mg {
     fn spec(&self) -> AppSpec {
         AppSpec {
             name: "MG".into(),
-            class: if self.lt == 5 { "S".into() } else { format!("lt={}", self.lt) },
+            class: if self.lt == 5 {
+                "S".into()
+            } else {
+                format!("lt={}", self.lt)
+            },
             vars: vec![
                 VarSpec::f64("u", &[self.total]),
                 VarSpec::f64("r", &[self.total]),
@@ -456,13 +479,19 @@ mod tests {
         mg.resid_finest(&zero, &mut r0);
         let initial = Mg::l2norm(&r0, n);
         let out = mg.run_f64(&mut NoopSite).output;
-        assert!(out < initial, "V-cycles failed to reduce the residual: {out} vs {initial}");
+        assert!(
+            out < initial,
+            "V-cycles failed to reduce the residual: {out} vs {initial}"
+        );
     }
 
     #[test]
     fn deterministic() {
         let mg = Mg::mini();
-        assert_eq!(mg.run_f64(&mut NoopSite).output, mg.run_f64(&mut NoopSite).output);
+        assert_eq!(
+            mg.run_f64(&mut NoopSite).output,
+            mg.run_f64(&mut NoopSite).output
+        );
     }
 
     #[test]
@@ -486,7 +515,10 @@ mod tests {
     fn restart_with_garbage_holes_verifies() {
         let mg = Mg::mini();
         let analysis = scrutinize(&mg);
-        let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::PrunedValue,
+            ..Default::default()
+        };
         let report = scrutiny_core::checkpoint_restart_cycle(&mg, &analysis, &cfg).unwrap();
         assert!(report.verified, "rel err {}", report.rel_err);
     }

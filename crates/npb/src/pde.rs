@@ -83,7 +83,8 @@ pub fn blend_init<R: Real>(u: &mut Arr4<R>, exact: &ExactSolution) {
             let y = ExactSolution::coord(j);
             for i in 0..GP {
                 let x = ExactSolution::coord(i);
-                let on_face = k == 0 || k == GP - 1 || j == 0 || j == GP - 1 || i == 0 || i == GP - 1;
+                let on_face =
+                    k == 0 || k == GP - 1 || j == 0 || j == GP - 1 || i == 0 || i == GP - 1;
                 if on_face {
                     let e = exact.eval(x, y, z);
                     let off = BOUNDARY_OFFSET * (1.0 + x + 2.0 * y + 3.0 * z);
@@ -273,7 +274,11 @@ impl BlockTriSolver {
             upper.push(mat5_mul(&inv_l, c));
             inv.push(inv_l);
         }
-        BlockTriSolver { inv, upper, lower: *a }
+        BlockTriSolver {
+            inv,
+            upper,
+            lower: *a,
+        }
     }
 
     /// Solve in place: `rhs` holds the line's block vectors.
@@ -434,8 +439,9 @@ mod tests {
         let n = 7;
         let solver = BlockTriSolver::factor(n, &a, &d, &a);
         let mut rng = Randlc::new(3);
-        let rhs_orig: Vec<[f64; NCOMP]> =
-            (0..n).map(|_| std::array::from_fn(|_| rng.next() - 0.5)).collect();
+        let rhs_orig: Vec<[f64; NCOMP]> = (0..n)
+            .map(|_| std::array::from_fn(|_| rng.next() - 0.5))
+            .collect();
         let mut x = rhs_orig.clone();
         solver.solve(&mut x);
         // Verify tri(A,D,A)·x = rhs.
@@ -500,8 +506,8 @@ mod tests {
         }
         // Faces equal the exact solution.
         let e = exact.eval(0.0, ExactSolution::coord(3), ExactSolution::coord(5));
-        let off = BOUNDARY_OFFSET
-            * (1.0 + 2.0 * ExactSolution::coord(3) + 3.0 * ExactSolution::coord(5));
+        let off =
+            BOUNDARY_OFFSET * (1.0 + 2.0 * ExactSolution::coord(3) + 3.0 * ExactSolution::coord(5));
         for m in 0..NCOMP {
             assert!((u[(5, 3, 0, m)] - e[m] - off).abs() < 1e-12);
         }

@@ -10,9 +10,7 @@
 //! (the factored fourth-order operator), SP's signature.
 
 use crate::common::Arr4;
-use crate::pde::{
-    blend_init, error_norm, ExactSolution, Mat5, PentaSolver, GP, GP1, NCOMP,
-};
+use crate::pde::{blend_init, error_norm, ExactSolution, Mat5, PentaSolver, GP, GP1, NCOMP};
 use scrutiny_ad::{Adj, Real};
 use scrutiny_core::{AppSpec, CkptSite, RunOutcome, ScrutinyApp, VarRefMut, VarSpec};
 
@@ -43,7 +41,10 @@ impl Sp {
 
     /// General constructor.
     pub fn new(niter: usize, ckpt_at: usize) -> Self {
-        assert!(ckpt_at >= 1 && ckpt_at <= niter, "checkpoint must fall inside the main loop");
+        assert!(
+            ckpt_at >= 1 && ckpt_at <= niter,
+            "checkpoint must fall inside the main loop"
+        );
         let dt = 0.28;
         let nu = 0.35;
         let mut coupling = [[0.0; NCOMP]; NCOMP];
@@ -317,7 +318,10 @@ mod tests {
     fn restart_with_garbage_holes_verifies() {
         let sp = Sp::mini();
         let analysis = scrutinize(&sp);
-        let cfg = RestartConfig { policy: Policy::PrunedValue, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::PrunedValue,
+            ..Default::default()
+        };
         let report = scrutiny_core::checkpoint_restart_cycle(&sp, &analysis, &cfg).unwrap();
         assert!(report.verified, "rel err {}", report.rel_err);
     }

@@ -9,7 +9,11 @@ use scrutiny_ckpt::Bitmap;
 /// uncritical `.`.
 pub fn slice_ascii(bits: &Bitmap, dims: [usize; 3], axis: usize, index: usize) -> String {
     assert!(axis < 3 && index < dims[axis], "slice out of range");
-    assert_eq!(bits.len(), dims[0] * dims[1] * dims[2], "bitmap/dims mismatch");
+    assert_eq!(
+        bits.len(),
+        dims[0] * dims[1] * dims[2],
+        "bitmap/dims mismatch"
+    );
     let at = |c0: usize, c1: usize, c2: usize| bits.get((c0 * dims[1] + c1) * dims[2] + c2);
     let (rows, cols) = match axis {
         0 => (dims[1], dims[2]),

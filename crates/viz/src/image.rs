@@ -10,9 +10,15 @@ fn pgm_header(w: usize, h: usize) -> Vec<u8> {
     format!("P5\n{w} {h}\n255\n").into_bytes()
 }
 
-/// Render one slice (axis/index as in [`scrutiny_viz::slice_ascii`]) as a
+/// Render one slice (axis/index as in [`crate::slice_ascii`]) as a
 /// PGM image, `scale`× magnified.
-pub fn slice_pgm(bits: &Bitmap, dims: [usize; 3], axis: usize, index: usize, scale: usize) -> Vec<u8> {
+pub fn slice_pgm(
+    bits: &Bitmap,
+    dims: [usize; 3],
+    axis: usize,
+    index: usize,
+    scale: usize,
+) -> Vec<u8> {
     assert!(scale >= 1);
     let at = |c0: usize, c1: usize, c2: usize| bits.get((c0 * dims[1] + c1) * dims[2] + c2);
     let (rows, cols) = match axis {
@@ -53,8 +59,7 @@ pub fn volume_montage_pgm(bits: &Bitmap, dims: [usize; 3], cols: usize, scale: u
         for y in 0..tile_h {
             for x in 0..tile_w {
                 let v = at(k, y / scale, x / scale);
-                img[(oy + y) * w + ox + x] =
-                    if v { CRITICAL_GRAY } else { UNCRITICAL_GRAY };
+                img[(oy + y) * w + ox + x] = if v { CRITICAL_GRAY } else { UNCRITICAL_GRAY };
             }
         }
     }

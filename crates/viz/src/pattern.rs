@@ -70,7 +70,9 @@ pub fn detect_periodicity(bits: &Bitmap, max_period: usize, threshold: f64) -> O
         if total == 0 {
             break;
         }
-        let matches = (0..total).filter(|&i| bits.get(i) == bits.get(i + p)).count();
+        let matches = (0..total)
+            .filter(|&i| bits.get(i) == bits.get(i + p))
+            .count();
         let fraction = matches as f64 / total as f64;
         if fraction < threshold {
             continue;
@@ -82,7 +84,10 @@ pub fn detect_periodicity(bits: &Bitmap, max_period: usize, threshold: f64) -> O
             None => true,
         };
         if better {
-            best = Some(Periodicity { period: p, fraction });
+            best = Some(Periodicity {
+                period: p,
+                fraction,
+            });
         }
     }
     best

@@ -13,11 +13,21 @@ fn main() {
     let u = x * x; //       u(x) = x²
     let v = (x + 1.0).ln(); // v(x) = ln(x+1)
     let f = u * a + v; //   f(u, v) = a·u + v
-    println!("forward:  x = {}, u = {}, v = {:.6}, f = {:.6}", x.value(), u.value(), v.value(), f.value());
+    println!(
+        "forward:  x = {}, u = {}, v = {:.6}, f = {:.6}",
+        x.value(),
+        u.value(),
+        v.value(),
+        f.value()
+    );
 
     // Reverse sweep: adjoints flow from f back to x by the chain rule.
     let tape = session.finish();
-    println!("tape: {} nodes ({} leaves)", tape.stats().nodes, tape.stats().leaves);
+    println!(
+        "tape: {} nodes ({} leaves)",
+        tape.stats().nodes,
+        tape.stats().leaves
+    );
     let grads = tape.gradient(f);
     println!("reverse:  df/du = {a}, df/dv = 1");
     println!(
@@ -26,7 +36,11 @@ fn main() {
         1.0 / (x.value() + 1.0)
     );
     let expected = a * 2.0 * x.value() + 1.0 / (x.value() + 1.0);
-    println!("          df/dx = {:.6} (analytic {:.6})", grads.wrt(x), expected);
+    println!(
+        "          df/dx = {:.6} (analytic {:.6})",
+        grads.wrt(x),
+        expected
+    );
     assert!((grads.wrt(x) - expected).abs() < 1e-12);
 
     // The checkpoint connection: a leaf whose adjoint is zero is an

@@ -38,7 +38,10 @@ fn main() {
                 println!("dead planes: {:?}", detect_planes(&cube, dims));
             }
             [d0, d1, d2] => {
-                println!("dead planes: {:?}", detect_planes(&var.value_map, [*d0, *d1, *d2]));
+                println!(
+                    "dead planes: {:?}",
+                    detect_planes(&var.value_map, [*d0, *d1, *d2])
+                );
             }
             _ => print!("{}", runlength_chart(&var.value_map, 72)),
         }

@@ -1,6 +1,6 @@
 //! Quickstart: the full scrutiny pipeline on a 30-line application.
 //!
-//! Run with: `cargo run --release -p scrutiny-bench --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use scrutiny_core::tiny::Heat1d;
 use scrutiny_core::{

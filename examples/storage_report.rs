@@ -4,17 +4,20 @@
 
 use scrutiny_ckpt::incremental::IncrementalTracker;
 use scrutiny_core::restart::capture_state;
+use scrutiny_core::ScrutinyApp;
 use scrutiny_core::{scrutinize, table3_row};
 use scrutiny_npb::{Bt, Cg, Mg};
-use scrutiny_core::ScrutinyApp;
 
 fn main() {
     println!(
         "{:<6} {:>11} {:>11} {:>14}",
         "Bench", "full", "AD-pruned", "incr (2nd ckpt)"
     );
-    let apps: Vec<Box<dyn ScrutinyApp>> =
-        vec![Box::new(Bt::class_s()), Box::new(Mg::class_s()), Box::new(Cg::class_s())];
+    let apps: Vec<Box<dyn ScrutinyApp>> = vec![
+        Box::new(Bt::class_s()),
+        Box::new(Mg::class_s()),
+        Box::new(Cg::class_s()),
+    ];
     for app in &apps {
         let analysis = scrutinize(app.as_ref());
         let captured = capture_state(app.as_ref());
@@ -23,8 +26,10 @@ fn main() {
         // Page-incremental baseline: first checkpoint writes all pages,
         // an identical second epoch writes none — it removes *temporal*
         // redundancy, orthogonal to the paper's *semantic* pruning.
-        let named: Vec<(String, scrutiny_ckpt::VarData)> =
-            captured.iter().map(|v| (v.name.clone(), v.data.clone())).collect();
+        let named: Vec<(String, scrutiny_ckpt::VarData)> = captured
+            .iter()
+            .map(|v| (v.name.clone(), v.data.clone()))
+            .collect();
         let mut tracker = IncrementalTracker::new();
         tracker.step(&named);
         let second = tracker.step(&named);

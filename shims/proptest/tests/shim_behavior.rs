@@ -1,0 +1,50 @@
+//! Behavioural checks of the shim itself: a falsified property must panic
+//! (reporting its inputs), rejections must resample rather than fail, and
+//! generation must be deterministic across runs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A property that is actually false must panic.
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn falsified_property_panics(x in 0.0f64..1.0) {
+        prop_assert!(x < 0.5, "x was {x}");
+    }
+
+    /// Heavy rejection still completes: ~half the samples are assumed away.
+    #[test]
+    fn rejection_resamples(x in 0.0f64..1.0) {
+        prop_assume!(x < 0.5);
+        prop_assert!(x < 0.5);
+    }
+
+    /// Range strategies respect their bounds across integer widths.
+    #[test]
+    fn ranges_in_bounds(a in 3u8..7, b in -5i64..5, n in 1usize..16) {
+        prop_assert!((3..7).contains(&a));
+        prop_assert!((-5..5).contains(&b));
+        prop_assert!((1..16).contains(&n));
+    }
+
+    /// Collection lengths stay inside the requested range.
+    #[test]
+    fn vec_len_in_bounds(v in proptest::collection::vec(0.0f64..1.0, 2..9)) {
+        prop_assert!(v.len() >= 2 && v.len() < 9);
+        for &x in &v {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
+
+/// The per-test RNG is deterministic: same name + attempt ⇒ same stream.
+#[test]
+fn rng_is_deterministic() {
+    let mut a = proptest::test_rng("some::test", 3);
+    let mut b = proptest::test_rng("some::test", 3);
+    assert_eq!(a.next_u64(), b.next_u64());
+    let mut c = proptest::test_rng("some::test", 4);
+    assert_ne!(a.next_u64(), c.next_u64());
+}

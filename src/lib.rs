@@ -1,0 +1,48 @@
+//! # scrutiny — umbrella crate for the workspace
+//!
+//! Reproduction of *"Scrutinizing Variables for Checkpoint Using Automatic
+//! Differentiation"* (SC 2024). This crate only re-exports the workspace
+//! members under stable module names so applications can depend on a single
+//! crate; the repo-root `tests/` and `examples/` build against it.
+//!
+//! See the [`core`] crate docs for the end-to-end workflow, and the root
+//! `README.md` for the architecture diagram.
+//!
+//! ```
+//! use scrutiny::core::tiny::Heat1d;
+//! use scrutiny::core::scrutinize;
+//!
+//! let analysis = scrutinize(&Heat1d::new(16, 8, 4));
+//! // temp is critical, the overwritten workspace is not (paper §III.A).
+//! assert!(analysis.vars[0].critical() > 0);
+//! assert_eq!(analysis.vars[1].critical(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Tape-based reverse-mode AD: [`scrutiny_ad::Adj`], [`scrutiny_ad::Tape`],
+/// forward-mode [`scrutiny_ad::Dual`], and the [`scrutiny_ad::Real`] scalar
+/// abstraction the NPB kernels are generic over.
+pub use scrutiny_ad as ad;
+
+/// Criticality-pruned checkpoint/restart: bitmaps, run-length regions,
+/// the versioned on-disk format and the keep-last-k store.
+pub use scrutiny_ckpt as ckpt;
+
+/// The analysis pipeline: scrutinize → plan → restart-verify.
+pub use scrutiny_core as core;
+
+/// NAS Parallel Benchmark ports (class S), generic over the AD scalar.
+pub use scrutiny_npb as npb;
+
+/// Fault-injection campaigns validating criticality maps.
+pub use scrutiny_faultinj as faultinj;
+
+/// ASCII/PGM/SVG visualization of criticality distributions.
+pub use scrutiny_viz as viz;
+
+/// Experiment harness: paper-expectation tables used by benches and bins.
+pub use scrutiny_bench as bench;
+
+/// Host crate for the repo-root integration suites.
+pub use scrutiny_integration as integration;

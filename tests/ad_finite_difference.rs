@@ -8,7 +8,13 @@ use scrutiny_core::{scrutinize, FillPolicy, Policy, RestartConfig, ScrutinyApp, 
 use scrutiny_npb::{Bt, Cg};
 
 /// Output after perturbing element `idx` of float variable `var_i` by `d`.
-fn perturbed_output(app: &dyn ScrutinyApp, analysis: &scrutiny_core::AnalysisReport, var_i: usize, idx: usize, d: f64) -> f64 {
+fn perturbed_output(
+    app: &dyn ScrutinyApp,
+    analysis: &scrutiny_core::AnalysisReport,
+    var_i: usize,
+    idx: usize,
+    d: f64,
+) -> f64 {
     let cfg = RestartConfig {
         policy: Policy::Full,
         fill: FillPolicy::Zero,

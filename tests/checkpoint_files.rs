@@ -39,7 +39,11 @@ fn disk_roundtrip_preserves_critical_elements() {
     let mut store = CheckpointStore::open(&dir, 3).unwrap();
     let (version, _) = store.save(&vars, &plans).unwrap();
     let ck = store.load(version).unwrap();
-    let u = ck.var("u").unwrap().materialize_f64(FillPolicy::Sentinel(-1.0)).unwrap();
+    let u = ck
+        .var("u")
+        .unwrap()
+        .materialize_f64(FillPolicy::Sentinel(-1.0))
+        .unwrap();
     for (i, v) in u.iter().enumerate() {
         if i % 7 != 3 {
             assert_eq!(*v, (i as f64).sin());

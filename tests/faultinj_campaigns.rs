@@ -6,7 +6,11 @@ use scrutiny_faultinj::{run_campaign, CampaignConfig, Corruption, Target};
 use scrutiny_npb::{Cg, Lu, Mg};
 
 fn apps() -> Vec<Box<dyn ScrutinyApp>> {
-    vec![Box::new(Cg::mini()), Box::new(Lu::mini()), Box::new(Mg::mini())]
+    vec![
+        Box::new(Cg::mini()),
+        Box::new(Lu::mini()),
+        Box::new(Mg::mini()),
+    ]
 }
 
 #[test]
@@ -16,7 +20,11 @@ fn uncritical_corruption_never_fails_verification() {
         let report = run_campaign(
             app.as_ref(),
             &analysis,
-            &CampaignConfig { trials: 4, elems_per_trial: 32, ..Default::default() },
+            &CampaignConfig {
+                trials: 4,
+                elems_per_trial: 32,
+                ..Default::default()
+            },
         );
         assert_eq!(report.failed, 0, "{}", analysis.app.name);
         assert_eq!(report.max_rel_err, 0.0, "{}", analysis.app.name);
@@ -56,5 +64,8 @@ fn critical_sign_flip_is_caught() {
             ..Default::default()
         },
     );
-    assert!(report.failed > 0, "sign flips in 64 critical elements went unnoticed");
+    assert!(
+        report.failed > 0,
+        "sign flips in 64 critical elements went unnoticed"
+    );
 }

@@ -68,7 +68,10 @@ fn pruned_is_never_larger_in_payload() {
 fn uninterrupted_equals_restarted_bit_exactly_for_full_policy() {
     for app in minis() {
         let analysis = scrutinize(app.as_ref());
-        let cfg = RestartConfig { policy: Policy::Full, ..Default::default() };
+        let cfg = RestartConfig {
+            policy: Policy::Full,
+            ..Default::default()
+        };
         let report = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).unwrap();
         assert_eq!(report.abs_err, 0.0, "{}", analysis.app.name);
     }
