@@ -1,0 +1,164 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! Implements exactly the subset of criterion's API that the
+//! `scrutiny-bench` harnesses use — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — so the workspace builds and `cargo bench`
+//! runs without a registry. Benches execute for real and print wall-clock
+//! statistics; there is no HTML report, outlier analysis or baseline
+//! comparison. Swap the path entry in the root `Cargo.toml` for
+//! `criterion = "0.5"` to use the real crate.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real criterion defaults to 100 samples; the shim keeps runs
+        // short since it reports plain wall-clock statistics anyway.
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside of any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` under the id `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group. (The shim reports per-benchmark, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once as warmup, then `sample_size` timed times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        timings: Vec::new(),
+    };
+    f(&mut b);
+    if b.timings.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    b.timings.sort();
+    let total: Duration = b.timings.iter().sum();
+    let mean = total / b.timings.len() as u32;
+    let min = b.timings[0];
+    let max = *b.timings.last().unwrap();
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        b.timings.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function from one or more target functions, each
+/// taking `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target from one or more
+/// groups declared with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and any user filter) to the binary;
+            // the shim runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
