@@ -1,0 +1,121 @@
+//! Compute-thread checkpoint cost: blocking `CheckpointStore::save` vs
+//! asynchronous `EngineHandle::submit`, on NPB class-S snapshots.
+//!
+//! The acceptance bar for the async engine is that `submit` returns in
+//! **< 10%** of the time the equivalent blocking save occupies the
+//! compute thread; the explicit ratio section at the end demonstrates it
+//! (and the criterion groups above give the usual distribution view).
+//!
+//! Run with: `cargo bench -p scrutiny-bench --bench engine_submit`
+
+use criterion::{black_box, criterion_group, Criterion};
+use scrutiny_ckpt::{CheckpointStore, VarPlan, VarRecord};
+use scrutiny_core::restart::capture_state;
+use scrutiny_core::{plan::plans_for, scrutinize, Policy, ScrutinyApp};
+use scrutiny_engine::{DirBackend, EngineConfig, EngineHandle};
+use scrutiny_npb::{Bt, Cg};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn snapshot_of(app: &dyn ScrutinyApp) -> (String, Vec<VarRecord>, Vec<VarPlan>) {
+    let analysis = scrutinize(app);
+    let vars = capture_state(app);
+    let plans = plans_for(&analysis, Policy::PrunedValue);
+    (app.spec().name, vars, plans)
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "scrutiny_bench_engine_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_submit(c: &mut Criterion) {
+    for (name, vars, plans) in [snapshot_of(&Bt::class_s()), snapshot_of(&Cg::class_s())] {
+        let mut group = c.benchmark_group(&format!("engine_submit/{name}"));
+        group.sample_size(30);
+
+        let dir = bench_dir(&format!("save_{name}"));
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        group.bench_function("blocking_save", |b| {
+            b.iter(|| black_box(store.save(&vars, &plans).unwrap()))
+        });
+
+        let adir = bench_dir(&format!("async_{name}"));
+        let engine = EngineHandle::open(
+            Arc::new(DirBackend::open(&adir).unwrap()),
+            EngineConfig {
+                keep: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        group.bench_function("async_submit_then_wait", |b| {
+            b.iter(|| {
+                let t = engine.submit(&vars, &plans).unwrap();
+                black_box(engine.wait(t).unwrap())
+            })
+        });
+        group.finish();
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&adir);
+    }
+}
+
+/// The acceptance-criterion measurement: mean time `submit` holds the
+/// compute thread vs mean blocking save, same snapshot, same storage
+/// medium. Waits happen outside the timed region — that is the point of
+/// the engine.
+fn submit_ratio_demo() {
+    const SAMPLES: u32 = 40;
+    println!();
+    println!("compute-thread occupancy: blocking save vs async submit (NPB class S)");
+    for (name, vars, plans) in [snapshot_of(&Bt::class_s()), snapshot_of(&Cg::class_s())] {
+        let dir = bench_dir(&format!("ratio_save_{name}"));
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(&vars, &plans).unwrap(); // warm up the dir
+        let t0 = Instant::now();
+        for _ in 0..SAMPLES {
+            black_box(store.save(&vars, &plans).unwrap());
+        }
+        let save_mean = t0.elapsed() / SAMPLES;
+
+        let adir = bench_dir(&format!("ratio_async_{name}"));
+        let engine = EngineHandle::open(
+            Arc::new(DirBackend::open(&adir).unwrap()),
+            EngineConfig {
+                keep: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut submit_total = Duration::ZERO;
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            let ticket = engine.submit(&vars, &plans).unwrap();
+            submit_total += t0.elapsed();
+            engine.wait(ticket).unwrap(); // untimed: off the compute thread
+        }
+        let submit_mean = submit_total / SAMPLES;
+        let ratio = 100.0 * submit_mean.as_secs_f64() / save_mean.as_secs_f64().max(1e-12);
+        println!(
+            "  {name:<4} blocking save {save_mean:>10.2?}   async submit {submit_mean:>10.2?}   \
+             ratio {ratio:5.1}%  (target < 10%) {}",
+            if ratio < 10.0 { "OK" } else { "FAIL" }
+        );
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&adir);
+    }
+}
+
+criterion_group!(benches, bench_submit);
+
+fn main() {
+    benches();
+    submit_ratio_demo();
+}

@@ -214,6 +214,9 @@ pub enum CkptError {
     MissingVar(String),
     /// Plan/payload disagreement (e.g. tiered plan on a complex variable).
     PlanMismatch(String),
+    /// The caller's configuration is unusable (e.g. a store asked to
+    /// retain zero checkpoints).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for CkptError {
@@ -226,6 +229,7 @@ impl fmt::Display for CkptError {
             }
             CkptError::MissingVar(n) => write!(f, "variable {n:?} not present in checkpoint"),
             CkptError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
+            CkptError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }
@@ -238,33 +242,68 @@ impl From<std::io::Error> for CkptError {
     }
 }
 
-/// IEEE CRC-32 (reflected, poly 0xEDB88320) — same polynomial as zip/png.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    const fn table() -> [u32; 256] {
-        let mut t = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 == 1 {
-                    0xEDB88320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            t[i] = c;
-            i += 1;
+const fn crc_table() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB88320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
         }
-        t
+        t[i] = c;
+        i += 1;
     }
-    const TABLE: [u32; 256] = table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    t
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// Streaming IEEE CRC-32 (reflected, poly 0xEDB88320 — same polynomial as
+/// zip/png). Lets the sharded writer checksum a data file that exists only
+/// as separately produced segments, without concatenating them first.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !c
+}
+
+impl Crc32 {
+    /// Fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Final CRC value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// IEEE CRC-32 of a complete buffer (one-shot form of [`Crc32`]).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
 }
 
 #[cfg(test)]

@@ -29,14 +29,19 @@
 pub mod bitmap;
 pub mod format;
 pub mod incremental;
+pub mod names;
 pub mod reader;
 pub mod regions;
+pub mod shard;
 pub mod store;
 pub mod writer;
 
 pub use bitmap::Bitmap;
-pub use format::{CkptError, DType, FillPolicy, StorageBreakdown, VarData, VarPlan, VarRecord};
+pub use format::{
+    CkptError, Crc32, DType, FillPolicy, StorageBreakdown, VarData, VarPlan, VarRecord,
+};
 pub use reader::Checkpoint;
 pub use regions::{Region, Regions};
+pub use shard::{plan_shards, seal_shards, serialize_shard, ShardManifest, ShardPlan};
 pub use store::CheckpointStore;
-pub use writer::{serialize_aux, serialize_data, write_checkpoint};
+pub use writer::{serialize_aux, serialize_data, write_checkpoint, write_file_atomic};

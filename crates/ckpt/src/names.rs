@@ -1,0 +1,121 @@
+//! Canonical checkpoint object/file names.
+//!
+//! One grammar, used everywhere a checkpoint is named: the on-disk store
+//! ([`crate::CheckpointStore`]), the reader's sharded-layout acceptance,
+//! and the async engine's storage backends. Keeping it in one place means
+//! a format change (padding width, a new suffix) cannot desynchronize the
+//! writers from the sweepers.
+//!
+//! * `ckpt_vvvvvv.data` — monolithic data file (commit marker).
+//! * `ckpt_vvvvvv.aux` — auxiliary region file.
+//! * `ckpt_vvvvvv.data.sNNN` — one data shard (sharded layout).
+//! * `ckpt_vvvvvv.smf` — shard manifest (sharded layout's commit marker).
+//! * `*.tmp` — an in-progress atomic write; never a published object.
+
+/// Monolithic data object/file name for `version`.
+pub fn data(version: u64) -> String {
+    format!("ckpt_{version:06}.data")
+}
+
+/// Auxiliary (region table) object/file name for `version`.
+pub fn aux(version: u64) -> String {
+    format!("ckpt_{version:06}.aux")
+}
+
+/// Shard-manifest object/file name for `version`.
+pub fn manifest(version: u64) -> String {
+    format!("ckpt_{version:06}.smf")
+}
+
+/// Data-shard object/file name for `version`, shard index `shard`.
+pub fn shard(version: u64, shard: usize) -> String {
+    format!("ckpt_{version:06}.data.s{shard:03}")
+}
+
+/// What a checkpoint object/file name denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CkptName {
+    /// `ckpt_v.data` — monolithic data file.
+    Data(u64),
+    /// `ckpt_v.aux` — auxiliary region file.
+    Aux(u64),
+    /// `ckpt_v.smf` — shard manifest.
+    Manifest(u64),
+    /// `ckpt_v.data.sNNN` — one data shard.
+    Shard {
+        /// Checkpoint version the shard belongs to.
+        version: u64,
+        /// Zero-based shard index.
+        shard: usize,
+    },
+    /// `*.tmp` — an interrupted atomic write.
+    Tmp,
+    /// Not a checkpoint name.
+    Other,
+}
+
+/// Parse a name against the grammar above.
+pub fn classify(name: &str) -> CkptName {
+    if name.ends_with(".tmp") {
+        return CkptName::Tmp;
+    }
+    let Some(rest) = name.strip_prefix("ckpt_") else {
+        return CkptName::Other;
+    };
+    let Some((num, suffix)) = rest.split_once('.') else {
+        return CkptName::Other;
+    };
+    let Ok(version) = num.parse::<u64>() else {
+        return CkptName::Other;
+    };
+    match suffix {
+        "data" => CkptName::Data(version),
+        "smf" => CkptName::Manifest(version),
+        "aux" => CkptName::Aux(version),
+        s => match s.strip_prefix("data.s").map(str::parse::<usize>) {
+            Some(Ok(shard)) => CkptName::Shard { version, shard },
+            _ => CkptName::Other,
+        },
+    }
+}
+
+/// The version a name *commits*: a monolithic data file or a shard
+/// manifest. Aux files and bare shards do not make a checkpoint visible.
+pub fn committed_version(name: &str) -> Option<u64> {
+    match classify(name) {
+        CkptName::Data(v) | CkptName::Manifest(v) => Some(v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_roundtrips() {
+        assert_eq!(classify(&data(3)), CkptName::Data(3));
+        assert_eq!(classify(&aux(3)), CkptName::Aux(3));
+        assert_eq!(classify(&manifest(4)), CkptName::Manifest(4));
+        assert_eq!(
+            classify(&shard(4, 17)),
+            CkptName::Shard {
+                version: 4,
+                shard: 17
+            }
+        );
+        assert_eq!(classify("ckpt_000004.data.tmp"), CkptName::Tmp);
+        assert_eq!(classify("notes.txt"), CkptName::Other);
+        assert_eq!(classify("ckpt_abc.data"), CkptName::Other);
+        assert_eq!(classify("ckpt_000004.data.sx"), CkptName::Other);
+    }
+
+    #[test]
+    fn committed_versions() {
+        assert_eq!(committed_version(&data(9)), Some(9));
+        assert_eq!(committed_version(&manifest(9)), Some(9));
+        assert_eq!(committed_version(&aux(9)), None);
+        assert_eq!(committed_version(&shard(9, 0)), None);
+        assert_eq!(committed_version("junk"), None);
+    }
+}

@@ -313,10 +313,27 @@ impl Checkpoint {
     }
 
     /// Load checkpoint `version` from a store directory.
+    ///
+    /// Accepts both on-disk layouts: the monolithic `ckpt_v.data` file,
+    /// and the sharded layout the async engine's workers produce
+    /// (`ckpt_v.data.sNNN` segments described by a `ckpt_v.smf`
+    /// manifest), which is reassembled and CRC-verified shard by shard
+    /// before parsing.
     pub fn load(dir: &Path, version: u64) -> Result<Self, CkptError> {
         let (data_path, aux_path) = file_names(dir, version);
-        let data = fs::read(&data_path)?;
         let aux = fs::read(&aux_path)?;
+        let data = match fs::read(&data_path) {
+            Ok(d) => d,
+            // Only a definite "no such file" means the checkpoint may be
+            // sharded; any other failure (permissions, I/O) surfaces
+            // as itself instead of a misleading missing-manifest error.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                crate::shard::read_sharded_data(version, |name| {
+                    fs::read(dir.join(name)).map_err(CkptError::from)
+                })?
+            }
+            Err(e) => return Err(e.into()),
+        };
         Self::from_bytes(&data, &aux)
     }
 
@@ -449,6 +466,49 @@ mod tests {
         let vars = vec![VarRecord::new("u", VarData::F64(vec![1.0]))];
         let ck = roundtrip(&vars, &[VarPlan::Full]);
         assert!(matches!(ck.var("nope"), Err(CkptError::MissingVar(_))));
+    }
+
+    #[test]
+    fn load_accepts_sharded_dir_layout() {
+        use crate::shard::{plan_shards, seal_shards, serialize_shard};
+        use crate::writer::{manifest_file_name, serialize_aux, shard_file_name};
+
+        let dir = std::env::temp_dir().join(format!("scrutiny_shard_load_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        let vals: Vec<f64> = (0..300).map(|i| (i as f64).sin()).collect();
+        let crit = Bitmap::from_fn(300, |i| i % 7 != 0);
+        let vars = vec![VarRecord::new("u", VarData::F64(vals.clone()))];
+        let plans = vec![VarPlan::Pruned(Regions::from_bitmap(&crit))];
+
+        let plan = plan_shards(&vars, &plans, 4).unwrap();
+        let shards: Vec<Vec<u8>> = (0..plan.shard_count())
+            .map(|i| serialize_shard(&vars, &plans, &plan, i).0)
+            .collect();
+        let (sealed, manifest) = seal_shards(shards);
+        for (i, shard) in sealed.iter().enumerate() {
+            fs::write(shard_file_name(&dir, 5, i), shard).unwrap();
+        }
+        fs::write(manifest_file_name(&dir, 5), manifest.to_bytes()).unwrap();
+        let (aux, _) = serialize_aux(&vars, &plans);
+        fs::write(dir.join("ckpt_000005.aux"), aux).unwrap();
+
+        // No ckpt_000005.data exists — the reader must reassemble shards.
+        let ck = Checkpoint::load(&dir, 5).unwrap();
+        let got = ck
+            .var("u")
+            .unwrap()
+            .materialize_f64(FillPolicy::Zero)
+            .unwrap();
+        for (i, (&g, &w)) in got.iter().zip(&vals).enumerate() {
+            if i % 7 != 0 {
+                assert_eq!(g, w, "stored element {i}");
+            } else {
+                assert_eq!(g, 0.0, "pruned hole {i}");
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -149,6 +149,33 @@ impl Regions {
         self.runs.iter().flat_map(|r| r.start..r.end)
     }
 
+    /// The sub-set covering stored-order (covered) elements `k0..k1`: the
+    /// `k`-th covered element of `self` is covered by the result iff
+    /// `k0 <= k < k1`. This is how the sharded serializer splits one
+    /// variable's payload into independently serializable element ranges
+    /// in O(runs) instead of iterating every index.
+    pub fn covered_range(&self, k0: u64, k1: u64) -> Regions {
+        assert!(k0 <= k1, "covered_range bounds reversed: {k0} > {k1}");
+        let mut runs = Vec::new();
+        let mut seen = 0u64; // covered elements strictly before this run
+        for r in &self.runs {
+            let len = r.len();
+            let lo = k0.saturating_sub(seen).min(len);
+            let hi = k1.saturating_sub(seen).min(len);
+            if lo < hi {
+                runs.push(Region {
+                    start: r.start + lo,
+                    end: r.start + hi,
+                });
+            }
+            seen += len;
+            if seen >= k1 {
+                break;
+            }
+        }
+        Regions { runs }
+    }
+
     /// Complement within `[0, total)` — the uncritical regions.
     pub fn complement(&self, total: u64) -> Regions {
         let mut runs = Vec::new();
@@ -299,6 +326,25 @@ mod tests {
             Region { start: 0, end: 5 },
             Region { start: 4, end: 6 },
         ]);
+    }
+
+    #[test]
+    fn covered_range_splits_stored_order() {
+        let r = Regions::from_runs(vec![
+            Region { start: 2, end: 5 },   // covered elems 0,1,2
+            Region { start: 9, end: 10 },  // covered elem 3
+            Region { start: 20, end: 24 }, // covered elems 4..8
+        ]);
+        let all: Vec<u64> = r.indices().collect();
+        for k0 in 0..=all.len() {
+            for k1 in k0..=all.len() {
+                let sub = r.covered_range(k0 as u64, k1 as u64);
+                let got: Vec<u64> = sub.indices().collect();
+                assert_eq!(got, &all[k0..k1], "range {k0}..{k1}");
+            }
+        }
+        // Out-of-bounds upper end is clamped.
+        assert_eq!(r.covered_range(6, 100).covered(), 2);
     }
 
     #[test]

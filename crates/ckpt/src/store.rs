@@ -3,12 +3,15 @@
 //! durable" — paper §II.A), with keep-last-k retention.
 
 use crate::format::{CkptError, StorageBreakdown, VarPlan, VarRecord};
+use crate::names::{classify, CkptName};
 use crate::reader::Checkpoint;
-use crate::writer::{file_names, write_checkpoint};
+use crate::writer::write_checkpoint;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// A directory of numbered checkpoints with bounded retention.
+#[derive(Debug)]
 pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
@@ -17,10 +20,24 @@ pub struct CheckpointStore {
 
 impl CheckpointStore {
     /// Open (or create) a store; keeps at most `keep` newest checkpoints.
+    ///
+    /// Opening also sweeps debris left by interrupted writes: `.tmp`
+    /// files, auxiliary files with no surviving data file, and data
+    /// shards whose manifest was never published.
+    ///
+    /// The sweep cannot distinguish a crashed writer's debris from a
+    /// *live* writer's in-flight files, so do not open a store on a
+    /// directory an async engine is concurrently publishing into —
+    /// `drain()` the engine (or wait its tickets) first.
     pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, CkptError> {
-        assert!(keep >= 1, "a store must retain at least one checkpoint");
+        if keep == 0 {
+            return Err(CkptError::InvalidConfig(
+                "a store must retain at least one checkpoint (keep >= 1)".into(),
+            ));
+        }
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        Self::sweep_orphans(&dir)?;
         let next_version = Self::scan_versions(&dir)?.last().map_or(0, |v| v + 1);
         Ok(CheckpointStore {
             dir,
@@ -29,22 +46,54 @@ impl CheckpointStore {
         })
     }
 
+    /// A version exists once its data file (monolithic layout) or shard
+    /// manifest (sharded layout) is published.
     fn scan_versions(dir: &Path) -> Result<Vec<u64>, CkptError> {
-        let mut versions = Vec::new();
+        let mut versions = BTreeSet::new();
         for entry in fs::read_dir(dir)? {
             let name = entry?.file_name();
-            let name = name.to_string_lossy();
-            if let Some(num) = name
-                .strip_prefix("ckpt_")
-                .and_then(|s| s.strip_suffix(".data"))
-            {
-                if let Ok(v) = num.parse::<u64>() {
-                    versions.push(v);
-                }
+            if let Some(v) = crate::names::committed_version(&name.to_string_lossy()) {
+                versions.insert(v);
             }
         }
-        versions.sort_unstable();
-        Ok(versions)
+        Ok(versions.into_iter().collect())
+    }
+
+    /// Delete files interrupted writes leave behind. Writers publish
+    /// `.tmp` → rename, data/shards before the manifest, and data before
+    /// aux is *read*, so: `.tmp` files are always debris, an `.aux` with
+    /// no data file or manifest is unreachable, and shards with no
+    /// manifest were never committed.
+    fn sweep_orphans(dir: &Path) -> Result<(), CkptError> {
+        let mut data = BTreeSet::new();
+        let mut manifests = BTreeSet::new();
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            match classify(&name) {
+                CkptName::Data(v) => {
+                    data.insert(v);
+                }
+                CkptName::Manifest(v) => {
+                    manifests.insert(v);
+                }
+                _ => {}
+            }
+            entries.push((name, entry.path()));
+        }
+        for (name, path) in entries {
+            let doomed = match classify(&name) {
+                CkptName::Tmp => true,
+                CkptName::Aux(v) => !data.contains(&v) && !manifests.contains(&v),
+                CkptName::Shard { version, .. } => !manifests.contains(&version),
+                _ => false,
+            };
+            if doomed {
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(())
     }
 
     /// Directory backing this store.
@@ -66,13 +115,32 @@ impl CheckpointStore {
         Ok((version, breakdown))
     }
 
+    /// Remove every file of each version beyond the retention limit, in
+    /// either layout, with a single directory scan. Manifests go first so
+    /// a crash mid-removal leaves orphans the next `open` sweeps, not a
+    /// half checkpoint that still looks committed.
     fn prune(&self) -> Result<(), CkptError> {
         let versions = Self::scan_versions(&self.dir)?;
-        if versions.len() > self.keep {
-            for &v in &versions[..versions.len() - self.keep] {
-                let (d, a) = file_names(&self.dir, v);
-                let _ = fs::remove_file(d);
-                let _ = fs::remove_file(a);
+        if versions.len() <= self.keep {
+            return Ok(());
+        }
+        let doomed: BTreeSet<u64> = versions[..versions.len() - self.keep]
+            .iter()
+            .copied()
+            .collect();
+        for &v in &doomed {
+            let _ = fs::remove_file(crate::writer::manifest_file_name(&self.dir, v));
+        }
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let version = match classify(&name) {
+                CkptName::Data(v) | CkptName::Aux(v) | CkptName::Manifest(v) => Some(v),
+                CkptName::Shard { version, .. } => Some(version),
+                CkptName::Tmp | CkptName::Other => None,
+            };
+            if version.is_some_and(|v| doomed.contains(&v)) {
+                let _ = fs::remove_file(entry.path());
             }
         }
         Ok(())
@@ -155,6 +223,63 @@ mod tests {
         let mut store = CheckpointStore::open(&dir, 5).unwrap();
         let (v, _) = store.save(&var(2.0), &[VarPlan::Full]).unwrap();
         assert_eq!(v, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_retention_is_an_error_not_a_panic() {
+        let dir = tmpdir("keep0");
+        match CheckpointStore::open(&dir, 0) {
+            Err(CkptError::InvalidConfig(msg)) => assert!(msg.contains("at least one")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_aux_and_shard_files() {
+        let dir = tmpdir("sweep");
+        // A valid checkpoint that must survive the sweep.
+        {
+            let mut store = CheckpointStore::open(&dir, 3).unwrap();
+            store.save(&var(1.0), &[VarPlan::Full]).unwrap();
+        }
+        // Plant debris from interrupted writes.
+        fs::write(dir.join("ckpt_000009.data.tmp"), b"half").unwrap();
+        fs::write(dir.join("ckpt_000009.aux.tmp"), b"half").unwrap();
+        fs::write(dir.join("ckpt_000007.aux"), b"orphan aux").unwrap();
+        fs::write(dir.join("ckpt_000008.data.s000"), b"orphan shard").unwrap();
+        fs::write(dir.join("ckpt_000008.data.s001"), b"orphan shard").unwrap();
+        fs::write(dir.join("ckpt_000008.aux"), b"aux of unpublished").unwrap();
+        fs::write(dir.join("notes.txt"), b"unrelated").unwrap();
+
+        let store = CheckpointStore::open(&dir, 3).unwrap();
+        assert_eq!(store.versions().unwrap(), vec![0]);
+        let left: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        for gone in [
+            "ckpt_000009.data.tmp",
+            "ckpt_000009.aux.tmp",
+            "ckpt_000007.aux",
+            "ckpt_000008.data.s000",
+            "ckpt_000008.data.s001",
+            "ckpt_000008.aux",
+        ] {
+            assert!(
+                !left.iter().any(|n| n == gone),
+                "{gone} not swept: {left:?}"
+            );
+        }
+        assert!(left.iter().any(|n| n == "ckpt_000000.data"));
+        assert!(left.iter().any(|n| n == "ckpt_000000.aux"));
+        assert!(
+            left.iter().any(|n| n == "notes.txt"),
+            "sweep must not touch foreign files"
+        );
+        // The surviving checkpoint still loads.
+        assert!(store.load_latest().is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
 

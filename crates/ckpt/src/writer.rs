@@ -24,9 +24,9 @@ use crate::Regions;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-const DATA_MAGIC: &[u8; 8] = b"SCRUTCKP";
+pub(crate) const DATA_MAGIC: &[u8; 8] = b"SCRUTCKP";
 const AUX_MAGIC: &[u8; 8] = b"SCRUTAUX";
-const FORMAT_VERSION: u32 = 1;
+pub(crate) const FORMAT_VERSION: u32 = 1;
 
 pub(crate) const MODE_FULL: u8 = 0;
 pub(crate) const MODE_PRUNED: u8 = 1;
@@ -42,7 +42,7 @@ pub struct SerializedCheckpoint {
     pub breakdown: StorageBreakdown,
 }
 
-fn plan_mode(plan: &VarPlan) -> u8 {
+pub(crate) fn plan_mode(plan: &VarPlan) -> u8 {
     match plan {
         VarPlan::Full => MODE_FULL,
         VarPlan::Pruned(_) => MODE_PRUNED,
@@ -50,13 +50,13 @@ fn plan_mode(plan: &VarPlan) -> u8 {
     }
 }
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -69,7 +69,7 @@ fn put_runs(out: &mut Vec<u8>, regions: &Regions) -> usize {
     regions.run_count() * 16
 }
 
-fn validate(vars: &[VarRecord], plans: &[VarPlan]) -> Result<(), CkptError> {
+pub(crate) fn validate(vars: &[VarRecord], plans: &[VarPlan]) -> Result<(), CkptError> {
     if vars.len() != plans.len() {
         return Err(CkptError::PlanMismatch(format!(
             "{} variables but {} plans",
@@ -172,7 +172,11 @@ pub fn serialize_data(
     Ok((out, payload))
 }
 
-fn write_elements(out: &mut Vec<u8>, data: &VarData, indices: impl Iterator<Item = u64>) -> usize {
+pub(crate) fn write_elements(
+    out: &mut Vec<u8>,
+    data: &VarData,
+    indices: impl Iterator<Item = u64>,
+) -> usize {
     let mut bytes = 0;
     match data {
         VarData::F64(v) => {
@@ -244,9 +248,42 @@ pub fn serialize(vars: &[VarRecord], plans: &[VarPlan]) -> Result<SerializedChec
 /// File names used for checkpoint `version` inside a store directory.
 pub fn file_names(dir: &Path, version: u64) -> (PathBuf, PathBuf) {
     (
-        dir.join(format!("ckpt_{version:06}.data")),
-        dir.join(format!("ckpt_{version:06}.aux")),
+        dir.join(crate::names::data(version)),
+        dir.join(crate::names::aux(version)),
     )
+}
+
+/// Shard-manifest file name for a checkpoint stored in sharded layout.
+pub fn manifest_file_name(dir: &Path, version: u64) -> PathBuf {
+    dir.join(crate::names::manifest(version))
+}
+
+/// Name of data shard `shard` of checkpoint `version` in sharded layout.
+pub fn shard_file_name(dir: &Path, version: u64, shard: usize) -> PathBuf {
+    dir.join(crate::names::shard(version, shard))
+}
+
+/// Durably publish `bytes` at `path`: write a `.tmp` sibling, `fsync` it,
+/// rename it over `path`, then best-effort `fsync` the directory so the
+/// rename itself survives a crash. Without the file `fsync`, a crash after
+/// the rename could publish a name whose *contents* never reached disk —
+/// a checkpoint that exists but does not parse.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Write checkpoint `version` (data + aux files) into `dir`.
@@ -259,14 +296,11 @@ pub fn write_checkpoint(
     let ser = serialize(vars, plans)?;
     fs::create_dir_all(dir)?;
     let (data_path, aux_path) = file_names(dir, version);
-    // Write-then-rename so a crash mid-write never leaves a checkpoint that
-    // parses: the reader only ever sees complete files.
-    let tmp_data = data_path.with_extension("data.tmp");
-    let tmp_aux = aux_path.with_extension("aux.tmp");
-    fs::write(&tmp_data, &ser.data)?;
-    fs::write(&tmp_aux, &ser.aux)?;
-    fs::rename(&tmp_data, &data_path)?;
-    fs::rename(&tmp_aux, &aux_path)?;
+    // Write-then-fsync-then-rename so a crash mid-write never leaves a
+    // checkpoint that parses: the reader only ever sees complete files,
+    // and a renamed file is guaranteed to hold its full contents.
+    write_file_atomic(&data_path, &ser.data)?;
+    write_file_atomic(&aux_path, &ser.aux)?;
     Ok(ser.breakdown)
 }
 

@@ -72,10 +72,18 @@ pub use plan::Policy;
 pub use report::{
     format_table1, format_table2, format_table3, table2_rows, table3_row, Table2Row, Table3Row,
 };
-pub use restart::{checkpoint_restart_cycle, RestartConfig, RestartReport};
+pub use restart::{
+    checkpoint_restart_cycle, checkpoint_restart_cycle_async, submit_checkpoint, RestartConfig,
+    RestartReport,
+};
 pub use site::{CaptureSite, CkptSite, LeafSite, RestoreSite, VarRefMut};
 pub use spec::{AppSpec, VarSpec};
 
 // Re-export the scalar abstraction so applications depend on one crate.
 pub use scrutiny_ad::{Adj, Cplx, Dual, Real};
 pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};
+// Re-export the async checkpoint engine so applications wire one crate.
+pub use scrutiny_engine::{
+    DirBackend, EngineConfig, EngineError, EngineHandle, Layout, MemBackend, ShardedBackend,
+    Snapshot, StorageBackend, Ticket,
+};

@@ -16,6 +16,7 @@ use scrutiny_ckpt::{
     Checkpoint, CheckpointStore, CkptError, DType, FillPolicy, StorageBreakdown, VarData, VarPlan,
     VarRecord,
 };
+use scrutiny_engine::{EngineError, EngineHandle};
 use std::path::PathBuf;
 
 /// Configuration of a restart experiment.
@@ -79,36 +80,48 @@ pub fn capture_state(app: &dyn ScrutinyApp) -> Vec<VarRecord> {
         .collect()
 }
 
-/// Run the full cycle; `mutate` may corrupt the restored buffers before
-/// the restart (fault injection). Pass a no-op closure for a clean cycle.
-pub fn restart_with_mutation(
+/// The front half of every verification cycle: golden run, state
+/// capture, storage plans, and the full-checkpoint baseline accounting.
+struct CyclePrefix {
+    golden: f64,
+    vars: Vec<VarRecord>,
+    plans: Vec<VarPlan>,
+    full_storage: StorageBreakdown,
+}
+
+fn cycle_prefix(
     app: &dyn ScrutinyApp,
     analysis: &AnalysisReport,
     cfg: &RestartConfig,
-    mutate: impl FnOnce(&mut [VarData], &AnalysisReport),
-) -> Result<RestartReport, CkptError> {
+) -> Result<CyclePrefix, CkptError> {
     let golden = app.run_f64(&mut NoopSite).output;
-
-    // Checkpoint.
     let vars = capture_state(app);
     let plans = plans_for(analysis, cfg.policy);
     let full_plans: Vec<VarPlan> = vars.iter().map(|_| VarPlan::Full).collect();
     let full_storage = serialize(&vars, &full_plans)?.breakdown;
+    Ok(CyclePrefix {
+        golden,
+        vars,
+        plans,
+        full_storage,
+    })
+}
 
-    let (checkpoint, storage) = match &cfg.store_dir {
-        Some(dir) => {
-            let mut store = CheckpointStore::open(dir, 2)?;
-            let (version, storage) = store.save(&vars, &plans)?;
-            (store.load(version)?, storage)
-        }
-        None => {
-            let ser = serialize(&vars, &plans)?;
-            (Checkpoint::from_bytes(&ser.data, &ser.aux)?, ser.breakdown)
-        }
-    };
-
+/// The back half: restore from a loaded checkpoint (holes filled,
+/// optionally corrupted), restart, and compare against the golden output.
+/// Both the blocking and the async cycle end here, so the verification
+/// semantics cannot diverge between them.
+fn cycle_finish(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    cfg: &RestartConfig,
+    prefix: &CyclePrefix,
+    checkpoint: &Checkpoint,
+    storage: StorageBreakdown,
+    mutate: impl FnOnce(&mut [VarData], &AnalysisReport),
+) -> Result<RestartReport, CkptError> {
     // Restore: full-size buffers, holes filled, then optional corruption.
-    let mut bufs = materialize_all(&checkpoint, analysis, cfg.fill)?;
+    let mut bufs = materialize_all(checkpoint, analysis, cfg.fill)?;
     mutate(&mut bufs, analysis);
 
     // Restart ("resume" semantics: deterministic pre-checkpoint prefix,
@@ -120,17 +133,40 @@ pub fn restart_with_mutation(
         "the run never reached its checkpoint boundary"
     );
 
-    let abs_err = (restarted - golden).abs();
-    let rel_err = abs_err / golden.abs().max(1.0);
+    let abs_err = (restarted - prefix.golden).abs();
+    let rel_err = abs_err / prefix.golden.abs().max(1.0);
     Ok(RestartReport {
-        golden,
+        golden: prefix.golden,
         restarted,
         abs_err,
         rel_err,
         verified: rel_err <= app.tolerance(),
         storage,
-        full_storage,
+        full_storage: prefix.full_storage,
     })
+}
+
+/// Run the full cycle; `mutate` may corrupt the restored buffers before
+/// the restart (fault injection). Pass a no-op closure for a clean cycle.
+pub fn restart_with_mutation(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    cfg: &RestartConfig,
+    mutate: impl FnOnce(&mut [VarData], &AnalysisReport),
+) -> Result<RestartReport, CkptError> {
+    let prefix = cycle_prefix(app, analysis, cfg)?;
+    let (checkpoint, storage) = match &cfg.store_dir {
+        Some(dir) => {
+            let mut store = CheckpointStore::open(dir, 2)?;
+            let (version, storage) = store.save(&prefix.vars, &prefix.plans)?;
+            (store.load(version)?, storage)
+        }
+        None => {
+            let ser = serialize(&prefix.vars, &prefix.plans)?;
+            (Checkpoint::from_bytes(&ser.data, &ser.aux)?, ser.breakdown)
+        }
+    };
+    cycle_finish(app, analysis, cfg, &prefix, &checkpoint, storage, mutate)
 }
 
 /// A clean (no corruption) checkpoint/restart cycle.
@@ -140,6 +176,46 @@ pub fn checkpoint_restart_cycle(
     cfg: &RestartConfig,
 ) -> Result<RestartReport, CkptError> {
     restart_with_mutation(app, analysis, cfg, |_, _| {})
+}
+
+/// Capture `app`'s checkpoint state and submit it to the async engine;
+/// the compute thread gets its [`scrutiny_engine::Ticket`] back as soon
+/// as the snapshot is staged.
+pub fn submit_checkpoint(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    policy: Policy,
+    engine: &EngineHandle,
+) -> Result<scrutiny_engine::Ticket, EngineError> {
+    let vars = capture_state(app);
+    let plans = plans_for(analysis, policy);
+    engine.submit(&vars, &plans)
+}
+
+/// The §IV.C verification cycle, but with the checkpoint written by the
+/// asynchronous engine instead of a blocking save: capture → `submit` →
+/// `wait` → restore **from the engine-written checkpoint** (read back
+/// through whatever backend the engine publishes into) → restart → verify
+/// against the golden output. `cfg.store_dir` is ignored; the engine's
+/// backend decides where bytes live.
+pub fn checkpoint_restart_cycle_async(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    cfg: &RestartConfig,
+    engine: &EngineHandle,
+) -> Result<RestartReport, EngineError> {
+    let prefix = cycle_prefix(app, analysis, cfg).map_err(EngineError::from)?;
+
+    let ticket = engine.submit(&prefix.vars, &prefix.plans)?;
+    let version = ticket.version();
+    let storage = engine.wait(ticket)?;
+
+    // Consume the engine-written checkpoint through the existing reader.
+    let (data, aux) = scrutiny_engine::read_version(engine.backend().as_ref(), version)?;
+    let checkpoint = Checkpoint::from_bytes(&data, &aux).map_err(EngineError::from)?;
+
+    cycle_finish(app, analysis, cfg, &prefix, &checkpoint, storage, |_, _| {})
+        .map_err(EngineError::from)
 }
 
 /// Materialize every variable of a loaded checkpoint into full-size
@@ -234,6 +310,73 @@ mod tests {
         )
         .unwrap();
         assert!(!report.verified, "critical corruption went unnoticed");
+    }
+
+    #[test]
+    fn async_engine_restart_verifies_on_all_backends() {
+        use scrutiny_engine::{
+            DirBackend, EngineConfig, MemBackend, ShardedBackend, StorageBackend,
+        };
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("scrutiny_async_rs_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app);
+        let cfg = RestartConfig::default();
+
+        let backends: Vec<Arc<dyn StorageBackend>> = vec![
+            Arc::new(MemBackend::new()),
+            Arc::new(DirBackend::open(&dir).unwrap()),
+            Arc::new(
+                ShardedBackend::new(vec![
+                    Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+                    Arc::new(MemBackend::new()),
+                ])
+                .unwrap(),
+            ),
+        ];
+        for backend in backends {
+            let label = backend.label();
+            for layout in [
+                scrutiny_engine::Layout::Monolithic,
+                scrutiny_engine::Layout::Sharded,
+            ] {
+                let engine = EngineHandle::open(
+                    backend.clone(),
+                    EngineConfig {
+                        layout,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let report =
+                    checkpoint_restart_cycle_async(&app, &analysis, &cfg, &engine).unwrap();
+                assert!(
+                    report.verified,
+                    "backend {label} / {layout:?}: rel err {}",
+                    report.rel_err
+                );
+                assert!(report.storage.total() < report.full_storage.total());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_report_matches_blocking_report() {
+        use scrutiny_engine::{EngineConfig, EngineHandle, MemBackend};
+        use std::sync::Arc;
+
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app);
+        let cfg = RestartConfig::default();
+        let blocking = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
+        let engine =
+            EngineHandle::open(Arc::new(MemBackend::new()), EngineConfig::default()).unwrap();
+        let asynced = checkpoint_restart_cycle_async(&app, &analysis, &cfg, &engine).unwrap();
+        assert_eq!(asynced.storage, blocking.storage, "same bytes either path");
+        assert_eq!(asynced.restarted, blocking.restarted, "same restart output");
     }
 
     #[test]

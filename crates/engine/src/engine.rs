@@ -1,0 +1,644 @@
+//! The asynchronous checkpoint engine: a bounded worker pool that takes a
+//! staged snapshot off the compute thread, serializes it in shards, and
+//! publishes it through a [`StorageBackend`].
+//!
+//! Lifecycle of one submission:
+//!
+//! 1. `submit` acquires a staging slot (double-buffered by default),
+//!    memcpys the variables into an owned [`Snapshot`], plans the shard
+//!    split, enqueues one task per shard on the bounded queue, and
+//!    returns a [`Ticket`] — the compute thread resumes immediately.
+//! 2. Workers pop shard tasks and serialize their segments concurrently,
+//!    so one large array does not serialize on a single core.
+//! 3. The worker that finishes the *last* shard of a submission seals the
+//!    segments (whole-file CRC + shard manifest), serializes the tiny
+//!    auxiliary file, writes everything through the backend (commit
+//!    marker last), applies retention, records the result, and frees the
+//!    staging slot.
+//! 4. `wait(ticket)` / `drain()` deliver the [`StorageBreakdown`] — or
+//!    the worker's failure — back on the compute thread.
+
+use crate::backend::{delete_version, list_versions, StorageBackend};
+use crate::error::EngineError;
+use crate::snapshot::{Snapshot, StagingGate};
+use scrutiny_ckpt::names;
+use scrutiny_ckpt::shard::{plan_shards, seal_shards, serialize_shard, ShardPlan};
+use scrutiny_ckpt::{serialize_aux, StorageBreakdown, VarPlan, VarRecord};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How the engine lays checkpoints out in the backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// One `ckpt_v.data` object, byte-identical to the blocking writer's
+    /// file (workers still serialize shards in parallel; the finisher
+    /// concatenates them).
+    Monolithic,
+    /// One object per shard plus a manifest — segments stay separate so a
+    /// [`crate::backend::ShardedBackend`] can stripe them across tiers.
+    Sharded,
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads serializing and writing (≥ 1).
+    pub workers: usize,
+    /// Bounded task-queue depth; `submit` applies backpressure beyond it.
+    pub queue_depth: usize,
+    /// Staged snapshots allowed in flight (2 = double buffering).
+    pub max_staged: usize,
+    /// Shard-split target per submission (usually = `workers`).
+    pub target_shards: usize,
+    /// Storage layout for published checkpoints.
+    pub layout: Layout,
+    /// Keep only the newest `k` checkpoints when set.
+    pub keep: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        EngineConfig {
+            workers,
+            queue_depth: 4 * workers,
+            max_staged: 2,
+            target_shards: workers,
+            layout: Layout::Monolithic,
+            keep: None,
+        }
+    }
+}
+
+/// Receipt for one submission; redeem with [`EngineHandle::wait`].
+/// Deliberately neither `Copy` nor `Clone`: a ticket resolves exactly
+/// once.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    version: u64,
+}
+
+impl Ticket {
+    /// The checkpoint version this submission publishes as.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// One serialized shard: `(bytes, payload_bytes)`.
+type Segment = (Vec<u8>, usize);
+
+struct Submission {
+    id: u64,
+    version: u64,
+    snapshot: Snapshot,
+    plan: ShardPlan,
+    /// Per-shard `(bytes, payload_bytes)`, filled by workers.
+    segments: Mutex<Vec<Option<Segment>>>,
+    remaining: AtomicUsize,
+    /// Set by the first `resolve` for this submission. Guards against a
+    /// second failing shard resolving again after `wait` already drained
+    /// the first result from the `done` map (which would underflow
+    /// `pending` and over-release the staging gate).
+    resolved: AtomicBool,
+}
+
+struct Task {
+    sub: Arc<Submission>,
+    shard: usize,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct ResultsState {
+    /// Tickets issued and not yet redeemed by `wait`/`drain`.
+    outstanding: HashSet<u64>,
+    /// Resolved `(version, result)` pairs awaiting redemption.
+    done: HashMap<u64, (u64, Result<StorageBreakdown, EngineError>)>,
+    /// Submissions not yet resolved (outstanding minus done).
+    pending: usize,
+    next_id: u64,
+}
+
+struct Shared {
+    backend: Arc<dyn StorageBackend>,
+    cfg: EngineConfig,
+    queue: Mutex<QueueState>,
+    /// Workers sleep here waiting for tasks.
+    task_cv: Condvar,
+    /// Submitters sleep here waiting for queue space.
+    space_cv: Condvar,
+    results: Mutex<ResultsState>,
+    results_cv: Condvar,
+    gate: StagingGate,
+    next_version: AtomicU64,
+}
+
+impl Shared {
+    /// Record the outcome of a submission exactly once and free its
+    /// staging slot. Later calls for the same submission (e.g. the last
+    /// shard finishing after a sibling already failed, or two shards
+    /// failing independently) are no-ops — the guard is the submission's
+    /// own flag, not the `done` map, which `wait` drains concurrently.
+    fn resolve(&self, sub: &Submission, result: Result<StorageBreakdown, EngineError>) {
+        if sub.resolved.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut r = self.results.lock().unwrap();
+            r.done.insert(sub.id, (sub.version, result));
+            r.pending -= 1;
+        }
+        self.results_cv.notify_all();
+        self.gate.release();
+    }
+}
+
+/// Handle to a running engine. Dropping it drains queued work and joins
+/// the workers.
+pub struct EngineHandle {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EngineHandle {
+    /// Start an engine over `backend`. Scans the backend so new
+    /// checkpoints continue the existing version numbering.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        cfg: EngineConfig,
+    ) -> Result<EngineHandle, EngineError> {
+        for (what, v) in [
+            ("workers", cfg.workers),
+            ("queue_depth", cfg.queue_depth),
+            ("max_staged", cfg.max_staged),
+            ("target_shards", cfg.target_shards),
+        ] {
+            if v == 0 {
+                return Err(EngineError::InvalidConfig(format!("{what} must be >= 1")));
+            }
+        }
+        if cfg.keep == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "retention must keep at least one checkpoint".into(),
+            ));
+        }
+        let next_version = list_versions(backend.as_ref())?.last().map_or(0, |v| v + 1);
+        let shared = Arc::new(Shared {
+            cfg: cfg.clone(),
+            backend,
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            task_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            results: Mutex::new(ResultsState {
+                outstanding: HashSet::new(),
+                done: HashMap::new(),
+                pending: 0,
+                next_id: 0,
+            }),
+            results_cv: Condvar::new(),
+            gate: StagingGate::new(cfg.max_staged),
+            next_version: AtomicU64::new(next_version),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("scrutiny-ckpt-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn checkpoint worker")
+            })
+            .collect();
+        Ok(EngineHandle { shared, workers })
+    }
+
+    /// The backend this engine publishes into.
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        self.shared.backend.clone()
+    }
+
+    /// Stage a copy of `vars`/`plans` and hand it to the worker pool;
+    /// returns as soon as the copy is staged and enqueued. Blocks only
+    /// for backpressure (staging gate full or task queue full).
+    pub fn submit(&self, vars: &[VarRecord], plans: &[VarPlan]) -> Result<Ticket, EngineError> {
+        self.shared.gate.acquire();
+        let snapshot = Snapshot::capture(vars, plans);
+        self.enqueue(snapshot)
+    }
+
+    /// Like [`EngineHandle::submit`] but consumes an already-owned
+    /// snapshot, skipping the staging copy.
+    pub fn submit_owned(&self, snapshot: Snapshot) -> Result<Ticket, EngineError> {
+        self.shared.gate.acquire();
+        self.enqueue(snapshot)
+    }
+
+    fn enqueue(&self, snapshot: Snapshot) -> Result<Ticket, EngineError> {
+        let plan = match plan_shards(
+            &snapshot.vars,
+            &snapshot.plans,
+            self.shared.cfg.target_shards,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                self.shared.gate.release();
+                return Err(e.into());
+            }
+        };
+        let nshards = plan.shard_count();
+        let (id, version) = {
+            let mut r = self.shared.results.lock().unwrap();
+            let id = r.next_id;
+            r.next_id += 1;
+            r.outstanding.insert(id);
+            r.pending += 1;
+            (id, self.shared.next_version.fetch_add(1, Ordering::Relaxed))
+        };
+        let sub = Arc::new(Submission {
+            id,
+            version,
+            snapshot,
+            plan,
+            segments: Mutex::new((0..nshards).map(|_| None).collect()),
+            remaining: AtomicUsize::new(nshards),
+            resolved: AtomicBool::new(false),
+        });
+        let mut q = self.shared.queue.lock().unwrap();
+        for shard in 0..nshards {
+            while q.tasks.len() >= self.shared.cfg.queue_depth {
+                q = self.shared.space_cv.wait(q).unwrap();
+            }
+            q.tasks.push_back(Task {
+                sub: sub.clone(),
+                shard,
+            });
+            self.shared.task_cv.notify_one();
+        }
+        Ok(Ticket { id, version })
+    }
+
+    /// Block until `ticket`'s submission is durably stored (or failed),
+    /// returning its storage accounting. Worker-side failures — backend
+    /// errors, serialization errors, even worker panics — surface here.
+    pub fn wait(&self, ticket: Ticket) -> Result<StorageBreakdown, EngineError> {
+        let mut r = self.shared.results.lock().unwrap();
+        loop {
+            if let Some((_version, res)) = r.done.remove(&ticket.id) {
+                r.outstanding.remove(&ticket.id);
+                return res;
+            }
+            if !r.outstanding.contains(&ticket.id) {
+                return Err(EngineError::UnknownTicket(ticket.id));
+            }
+            r = self.shared.results_cv.wait(r).unwrap();
+        }
+    }
+
+    /// Block until every outstanding submission resolves; returns
+    /// `(version, breakdown)` per unredeemed ticket, oldest first. The
+    /// first worker failure (if any) is returned instead.
+    pub fn drain(&self) -> Result<Vec<(u64, StorageBreakdown)>, EngineError> {
+        let mut r = self.shared.results.lock().unwrap();
+        while r.pending > 0 {
+            r = self.shared.results_cv.wait(r).unwrap();
+        }
+        let mut ids: Vec<u64> = r.done.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let (version, res) = r.done.remove(&id).expect("id taken from done");
+            r.outstanding.remove(&id);
+            match res {
+                Ok(bd) => out.push((version, bd)),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Submissions not yet resolved (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.shared.results.lock().unwrap().pending
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.task_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.tasks.pop_front() {
+                    shared.space_cv.notify_one();
+                    break t;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.task_cv.wait(q).unwrap();
+            }
+        };
+        let sub = task.sub.clone();
+        match catch_unwind(AssertUnwindSafe(|| process_task(&shared, &task))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => shared.resolve(&sub, Err(e)),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked with a non-string payload".into());
+                shared.resolve(&sub, Err(EngineError::WorkerPanic(msg)));
+            }
+        }
+    }
+}
+
+fn process_task(shared: &Shared, task: &Task) -> Result<(), EngineError> {
+    let sub = &task.sub;
+    let seg = serialize_shard(
+        &sub.snapshot.vars,
+        &sub.snapshot.plans,
+        &sub.plan,
+        task.shard,
+    );
+    sub.segments.lock().unwrap()[task.shard] = Some(seg);
+    // The worker finishing the last shard publishes the checkpoint.
+    if sub.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_submission(shared, sub)?;
+    }
+    Ok(())
+}
+
+fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineError> {
+    let segments = std::mem::take(&mut *sub.segments.lock().unwrap());
+    if segments.iter().any(Option::is_none) {
+        // A sibling shard failed and already resolved this submission.
+        return Ok(());
+    }
+    let mut shards = Vec::with_capacity(segments.len());
+    let mut payload_bytes = 0usize;
+    for seg in segments {
+        let (bytes, payload) = seg.expect("checked above");
+        payload_bytes += payload;
+        shards.push(bytes);
+    }
+    let (sealed, manifest) = seal_shards(shards);
+    let (aux, pair_bytes) = serialize_aux(&sub.snapshot.vars, &sub.snapshot.plans);
+    let data_len: usize = sealed.iter().map(Vec::len).sum();
+    let breakdown = StorageBreakdown {
+        payload_bytes,
+        aux_bytes: pair_bytes,
+        header_bytes: data_len - payload_bytes + (aux.len() - pair_bytes),
+    };
+
+    let v = sub.version;
+    let backend = shared.backend.as_ref();
+    match shared.cfg.layout {
+        Layout::Monolithic => {
+            let mut data = Vec::with_capacity(data_len);
+            for s in &sealed {
+                data.extend_from_slice(s);
+            }
+            // Aux first: once the data object (the commit marker the
+            // store scans for) exists, the checkpoint is complete.
+            backend.put(&names::aux(v), &aux)?;
+            backend.put(&names::data(v), &data)?;
+        }
+        Layout::Sharded => {
+            for (i, s) in sealed.iter().enumerate() {
+                backend.put(&names::shard(v, i), s)?;
+            }
+            backend.put(&names::aux(v), &aux)?;
+            // Manifest last: it is the sharded layout's commit marker.
+            backend.put(&names::manifest(v), &manifest.to_bytes())?;
+        }
+    }
+
+    // The checkpoint is durably committed at this point, so retention is
+    // best-effort: a transient sweep failure must not resolve the ticket
+    // as Err (a caller would resubmit a checkpoint that exists). A
+    // version the sweep misses is retried by the next submission's sweep.
+    if let Some(keep) = shared.cfg.keep {
+        if let Ok(versions) = list_versions(backend) {
+            if versions.len() > keep {
+                for &old in &versions[..versions.len() - keep] {
+                    let _ = delete_version(backend, old);
+                }
+            }
+        }
+    }
+
+    shared.resolve(sub, Ok(breakdown));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{read_version, MemBackend};
+    use scrutiny_ckpt::writer::serialize;
+    use scrutiny_ckpt::{Bitmap, Checkpoint, FillPolicy, Regions, VarData};
+
+    fn sample(n: usize, scale: f64) -> (Vec<VarRecord>, Vec<VarPlan>) {
+        let vars = vec![
+            VarRecord::new(
+                "u",
+                VarData::F64((0..n).map(|i| i as f64 * scale).collect()),
+            ),
+            VarRecord::new("it", VarData::I64(vec![n as i64])),
+        ];
+        let crit = Bitmap::from_fn(n, |i| i % 5 != 0);
+        let plans = vec![VarPlan::Pruned(Regions::from_bitmap(&crit)), VarPlan::Full];
+        (vars, plans)
+    }
+
+    fn engine(layout: Layout) -> (EngineHandle, Arc<MemBackend>) {
+        let mem = Arc::new(MemBackend::new());
+        let cfg = EngineConfig {
+            workers: 3,
+            target_shards: 3,
+            layout,
+            ..Default::default()
+        };
+        (EngineHandle::open(mem.clone(), cfg).unwrap(), mem)
+    }
+
+    #[test]
+    fn submit_wait_matches_blocking_serialize() {
+        let (eng, mem) = engine(Layout::Monolithic);
+        let (vars, plans) = sample(500, 0.25);
+        let ticket = eng.submit(&vars, &plans).unwrap();
+        let v = ticket.version();
+        let bd = eng.wait(ticket).unwrap();
+
+        let blocking = serialize(&vars, &plans).unwrap();
+        assert_eq!(bd, blocking.breakdown, "storage accounting must match");
+        let (data, aux) = read_version(mem.as_ref(), v).unwrap();
+        assert_eq!(data, blocking.data, "engine bytes must be bit-identical");
+        assert_eq!(aux, blocking.aux);
+    }
+
+    #[test]
+    fn sharded_layout_restores_identically() {
+        let (eng, mem) = engine(Layout::Sharded);
+        let (vars, plans) = sample(777, 1.5);
+        let ticket = eng.submit(&vars, &plans).unwrap();
+        let v = ticket.version();
+        eng.wait(ticket).unwrap();
+
+        let (data, aux) = read_version(mem.as_ref(), v).unwrap();
+        let blocking = serialize(&vars, &plans).unwrap();
+        assert_eq!(data, blocking.data);
+        let ck = Checkpoint::from_bytes(&data, &aux).unwrap();
+        let got = ck
+            .var("u")
+            .unwrap()
+            .materialize_f64(FillPolicy::Sentinel(-1.0))
+            .unwrap();
+        let VarData::F64(want) = &vars[0].data else {
+            unreachable!()
+        };
+        for i in 0..want.len() {
+            if i % 5 != 0 {
+                assert_eq!(got[i], want[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn versions_are_monotonic_and_drain_resolves_all() {
+        let (eng, _mem) = engine(Layout::Monolithic);
+        let (vars, plans) = sample(64, 2.0);
+        let mut versions = Vec::new();
+        for _ in 0..5 {
+            versions.push(eng.submit(&vars, &plans).unwrap().version());
+        }
+        let resolved = eng.drain().unwrap();
+        assert_eq!(resolved.len(), 5);
+        assert_eq!(versions, vec![0, 1, 2, 3, 4]);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn backend_failure_propagates_to_wait() {
+        struct FailingBackend;
+        impl StorageBackend for FailingBackend {
+            fn put(&self, _: &str, _: &[u8]) -> Result<(), scrutiny_ckpt::CkptError> {
+                Err(scrutiny_ckpt::CkptError::Corrupt("disk on fire".into()))
+            }
+            fn get(&self, n: &str) -> Result<Vec<u8>, scrutiny_ckpt::CkptError> {
+                Err(scrutiny_ckpt::CkptError::MissingVar(n.into()))
+            }
+            fn list(&self) -> Result<Vec<String>, scrutiny_ckpt::CkptError> {
+                Ok(Vec::new())
+            }
+            fn delete(&self, _: &str) -> Result<(), scrutiny_ckpt::CkptError> {
+                Ok(())
+            }
+            fn label(&self) -> String {
+                "failing".into()
+            }
+        }
+        let eng = EngineHandle::open(Arc::new(FailingBackend), EngineConfig::default()).unwrap();
+        let (vars, plans) = sample(32, 1.0);
+        let ticket = eng.submit(&vars, &plans).unwrap();
+        match eng.wait(ticket) {
+            Err(EngineError::Ckpt(scrutiny_ckpt::CkptError::Corrupt(m))) => {
+                assert!(m.contains("disk on fire"))
+            }
+            other => panic!("expected the backend failure, got {other:?}"),
+        }
+        // The engine stays usable for the next submission's failure too.
+        let t2 = eng.submit(&vars, &plans).unwrap();
+        assert!(eng.wait(t2).is_err());
+    }
+
+    #[test]
+    fn retention_keeps_newest_k() {
+        let mem = Arc::new(MemBackend::new());
+        let cfg = EngineConfig {
+            workers: 2,
+            keep: Some(2),
+            ..Default::default()
+        };
+        let eng = EngineHandle::open(mem.clone(), cfg).unwrap();
+        let (vars, plans) = sample(64, 1.0);
+        for _ in 0..5 {
+            let t = eng.submit(&vars, &plans).unwrap();
+            eng.wait(t).unwrap();
+        }
+        let versions = list_versions(mem.as_ref()).unwrap();
+        assert_eq!(versions, vec![3, 4]);
+        drop(eng);
+
+        // A reopened engine continues the numbering.
+        let eng = EngineHandle::open(mem.clone(), EngineConfig::default()).unwrap();
+        let t = eng.submit(&vars, &plans).unwrap();
+        assert_eq!(t.version(), 5);
+        eng.wait(t).unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mem: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        for cfg in [
+            EngineConfig {
+                workers: 0,
+                ..Default::default()
+            },
+            EngineConfig {
+                queue_depth: 0,
+                ..Default::default()
+            },
+            EngineConfig {
+                max_staged: 0,
+                ..Default::default()
+            },
+            EngineConfig {
+                keep: Some(0),
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                EngineHandle::open(mem.clone(), cfg),
+                Err(EngineError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn drop_drains_queued_work() {
+        let mem = Arc::new(MemBackend::new());
+        let eng = EngineHandle::open(mem.clone(), EngineConfig::default()).unwrap();
+        let (vars, plans) = sample(2000, 0.5);
+        let t = eng.submit(&vars, &plans).unwrap();
+        let v = t.version();
+        drop(eng); // joins workers; queued serialization must complete
+        assert!(read_version(mem.as_ref(), v).is_ok());
+    }
+}

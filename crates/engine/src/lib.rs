@@ -1,0 +1,55 @@
+//! # scrutiny-engine — asynchronous, sharded checkpoint pipeline
+//!
+//! The paper's storage reduction shrinks checkpoint *bytes*; this crate
+//! removes the remaining cost from the compute thread's critical path:
+//! the time spent serializing and writing them. Hascoët & Araya-Polo
+//! frame checkpoint placement as a runtime policy decoupled from the
+//! application, and the authors' AutoCheck work targets long-running
+//! loops where checkpoint latency dominates — so the engine makes the
+//! whole scrutinize→prune→checkpoint flow a background pipeline:
+//!
+//! * [`Snapshot`] / staging — `submit` memcpys the variables into an
+//!   owned snapshot (double-buffered: a new snapshot stages while the
+//!   previous one drains) and the compute loop resumes immediately.
+//! * worker pool — `std::thread` workers behind a bounded queue
+//!   serialize the pruned/tiered payload off-thread, **sharding large
+//!   variables across workers** (via
+//!   [`scrutiny_ckpt::shard::plan_shards`]) so a single big array does
+//!   not serialize on one core. Output is bit-identical to the blocking
+//!   writer's.
+//! * [`StorageBackend`] — pluggable object stores: [`DirBackend`]
+//!   (today's file layout, fsync-durable, readable by the existing
+//!   reader/restart path), [`MemBackend`] (in-process, for tests and
+//!   burn-in), and [`ShardedBackend`] (stripes shards across child
+//!   backends).
+//! * [`EngineHandle`] — `submit(vars, plans) -> Ticket`,
+//!   `wait(ticket) -> StorageBreakdown`, `drain()`, with worker
+//!   failures (including panics) propagated to the caller.
+//!
+//! ```
+//! use scrutiny_engine::{EngineConfig, EngineHandle, MemBackend};
+//! use scrutiny_ckpt::{VarData, VarPlan, VarRecord};
+//! use std::sync::Arc;
+//!
+//! let engine = EngineHandle::open(Arc::new(MemBackend::new()),
+//!                                 EngineConfig::default()).unwrap();
+//! let vars = vec![VarRecord::new("u", VarData::F64(vec![1.0; 1000]))];
+//! let ticket = engine.submit(&vars, &[VarPlan::Full]).unwrap();
+//! // … compute continues here while workers serialize and store …
+//! let storage = engine.wait(ticket).unwrap();
+//! assert!(storage.total() > 8000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod engine;
+pub mod error;
+pub mod snapshot;
+
+pub use backend::{
+    list_versions, read_version, DirBackend, MemBackend, ShardedBackend, StorageBackend,
+};
+pub use engine::{EngineConfig, EngineHandle, Layout, Ticket};
+pub use error::EngineError;
+pub use snapshot::Snapshot;

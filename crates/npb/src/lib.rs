@@ -25,6 +25,7 @@ pub mod is;
 pub mod lu;
 pub mod mg;
 pub mod pde;
+pub mod pipeline;
 pub mod sp;
 
 pub use bt::Bt;
@@ -34,6 +35,7 @@ pub use ft::Ft;
 pub use is::Is;
 pub use lu::Lu;
 pub use mg::Mg;
+pub use pipeline::{burn_in, burn_in_suite, burn_in_suite_mini, BurnInReport};
 pub use sp::Sp;
 
 use scrutiny_core::ScrutinyApp;

@@ -1,0 +1,105 @@
+//! Long-running NPB driver with asynchronous checkpointing: the burn-in
+//! wiring of the async engine into the NPB benchmarks.
+//!
+//! HPC production runs checkpoint *periodically* inside a long main loop;
+//! the paper's single-boundary experiment is one period of that loop.
+//! [`burn_in`] replays the period `epochs` times against a live
+//! [`EngineHandle`]: each epoch captures the app's checkpoint state and
+//! `submit`s it — the next epoch's compute then overlaps the previous
+//! epoch's serialization and storage, exactly the overlap the engine
+//! exists for — and the run ends with a restart-verification from the
+//! newest engine-written checkpoint.
+
+use crate::{Cg, Ft};
+use scrutiny_core::{
+    checkpoint_restart_cycle_async, submit_checkpoint, AnalysisReport, EngineError, EngineHandle,
+    Policy, RestartConfig, ScrutinyApp,
+};
+
+/// Outcome of one [`burn_in`] run.
+#[derive(Clone, Debug)]
+pub struct BurnInReport {
+    /// Benchmark name (from its spec).
+    pub app: String,
+    /// Checkpoints submitted (one per epoch) — all resolved.
+    pub epochs: usize,
+    /// Sum of stored payload bytes across all epochs.
+    pub payload_bytes: usize,
+    /// Did a restart from the newest engine-written checkpoint reproduce
+    /// the golden output within the app's tolerance?
+    pub verified: bool,
+    /// Relative error of that restart.
+    pub rel_err: f64,
+}
+
+/// Run `epochs` checkpoint periods of `app` through `engine`, then verify
+/// by restarting from the engine's newest checkpoint.
+pub fn burn_in(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    engine: &EngineHandle,
+    epochs: usize,
+    policy: Policy,
+) -> Result<BurnInReport, EngineError> {
+    assert!(epochs >= 1, "burn-in needs at least one epoch");
+    let mut tickets = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        // submit returns as soon as the snapshot is staged; the next
+        // epoch's capture run below is the compute that overlaps this
+        // epoch's serialization and storage.
+        tickets.push(submit_checkpoint(app, analysis, policy, engine)?);
+    }
+    let mut payload_bytes = 0;
+    for t in tickets {
+        payload_bytes += engine.wait(t)?.payload_bytes;
+    }
+    let cfg = RestartConfig {
+        policy,
+        ..Default::default()
+    };
+    let report = checkpoint_restart_cycle_async(app, analysis, &cfg, engine)?;
+    Ok(BurnInReport {
+        app: app.spec().name,
+        epochs,
+        payload_bytes,
+        verified: report.verified,
+        rel_err: report.rel_err,
+    })
+}
+
+/// The two benchmarks wired into the engine burn-in by default: CG (the
+/// classic pruned float vector + integer control state) and FT (the large
+/// complex-typed state that exercises sharded serialization hardest).
+pub fn burn_in_suite() -> Vec<Box<dyn ScrutinyApp>> {
+    vec![Box::new(Cg::class_s()), Box::new(Ft::class_s())]
+}
+
+/// Reduced instances of the same two apps, for fast tests.
+pub fn burn_in_suite_mini() -> Vec<Box<dyn ScrutinyApp>> {
+    vec![Box::new(Cg::mini()), Box::new(Ft::mini())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutiny_core::{scrutinize, EngineConfig, EngineHandle, MemBackend};
+    use std::sync::Arc;
+
+    #[test]
+    fn burn_in_cg_and_ft_through_the_engine() {
+        for app in burn_in_suite_mini() {
+            let analysis = scrutinize(app.as_ref());
+            let engine =
+                EngineHandle::open(Arc::new(MemBackend::new()), EngineConfig::default()).unwrap();
+            let report = burn_in(app.as_ref(), &analysis, &engine, 3, Policy::PrunedValue).unwrap();
+            assert_eq!(report.epochs, 3);
+            assert!(report.payload_bytes > 0);
+            assert!(
+                report.verified,
+                "{}: engine restart failed (rel err {})",
+                report.app, report.rel_err
+            );
+            assert_eq!(engine.pending(), 0);
+        }
+    }
+}

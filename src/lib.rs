@@ -29,6 +29,11 @@ pub use scrutiny_ad as ad;
 /// the versioned on-disk format and the keep-last-k store.
 pub use scrutiny_ckpt as ckpt;
 
+/// Asynchronous, sharded checkpoint pipeline with pluggable storage
+/// backends: [`scrutiny_engine::EngineHandle`], [`scrutiny_engine::DirBackend`],
+/// [`scrutiny_engine::MemBackend`], [`scrutiny_engine::ShardedBackend`].
+pub use scrutiny_engine as engine;
+
 /// The analysis pipeline: scrutinize → plan → restart-verify.
 pub use scrutiny_core as core;
 
