@@ -1,0 +1,121 @@
+//! Bytes-written reduction of delta checkpoints: full epochs vs
+//! base+delta epochs on an NPB workload with localized updates.
+//!
+//! The paper's pruning removes *semantic* redundancy once per epoch; the
+//! delta format (see `scrutiny_ckpt::delta`) additionally removes the
+//! *temporal* redundancy between epochs of a long-running loop. The
+//! acceptance bar is that delta epochs write **measurably fewer bytes**
+//! than full epochs for localized updates; the explicit section at the
+//! end reports the measured reduction (and the criterion groups above
+//! give the usual timing view of submit+wait in both modes).
+//!
+//! Run with: `cargo bench -p scrutiny-bench --bench delta_submit`
+
+use criterion::{black_box, criterion_group, Criterion};
+use scrutiny_ckpt::{DeltaPolicy, VarPlan, VarRecord};
+use scrutiny_core::restart::capture_state;
+use scrutiny_core::{plan::plans_for, scrutinize, Policy, ScrutinyApp};
+use scrutiny_engine::{EngineConfig, EngineHandle, MemBackend};
+use scrutiny_npb::{perturb_localized, Cg, Ft};
+use std::sync::Arc;
+
+fn snapshot_of(app: &dyn ScrutinyApp) -> (String, Vec<VarRecord>, Vec<VarPlan>) {
+    let analysis = scrutinize(app);
+    let vars = capture_state(app);
+    let plans = plans_for(&analysis, Policy::PrunedValue);
+    (app.spec().name, vars, plans)
+}
+
+fn delta_engine() -> EngineHandle {
+    EngineHandle::open(
+        Arc::new(MemBackend::new()),
+        EngineConfig {
+            keep: Some(4),
+            delta: Some(DeltaPolicy::default()),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn full_engine() -> EngineHandle {
+    EngineHandle::open(
+        Arc::new(MemBackend::new()),
+        EngineConfig {
+            keep: Some(4),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_delta_submit(c: &mut Criterion) {
+    for (name, vars, plans) in [snapshot_of(&Cg::class_s()), snapshot_of(&Ft::class_s())] {
+        let mut group = c.benchmark_group(&format!("delta_submit/{name}"));
+        group.sample_size(20);
+
+        let engine = full_engine();
+        let mut vars_full = vars.clone();
+        let mut epoch = 0usize;
+        group.bench_function("full_epoch", |b| {
+            b.iter(|| {
+                epoch += 1;
+                perturb_localized(&mut vars_full, epoch);
+                let t = engine.submit(&vars_full, &plans).unwrap();
+                black_box(engine.wait(t).unwrap())
+            })
+        });
+
+        let engine = delta_engine();
+        let mut vars_delta = vars.clone();
+        let mut epoch = 0usize;
+        group.bench_function("delta_epoch", |b| {
+            b.iter(|| {
+                epoch += 1;
+                perturb_localized(&mut vars_delta, epoch);
+                let t = engine.submit(&vars_delta, &plans).unwrap();
+                black_box(engine.wait(t).unwrap())
+            })
+        });
+        group.finish();
+    }
+}
+
+/// The acceptance-criterion measurement: bytes written per epoch, full
+/// mode vs delta mode, same localized-update workload. Epoch 0 (the
+/// base) costs the same either way; the point is every epoch after it.
+fn delta_bytes_demo() {
+    const EPOCHS: usize = 8;
+    println!();
+    println!("bytes written per checkpoint epoch: full vs base+delta (NPB class S,");
+    println!("localized updates touching ~1/16th of each variable per epoch)");
+    for (name, vars, plans) in [snapshot_of(&Cg::class_s()), snapshot_of(&Ft::class_s())] {
+        let mut totals = [Vec::new(), Vec::new()];
+        for (which, engine) in [full_engine(), delta_engine()].into_iter().enumerate() {
+            let mut vars = vars.clone();
+            for epoch in 0..EPOCHS {
+                if epoch > 0 {
+                    perturb_localized(&mut vars, epoch);
+                }
+                let t = engine.submit(&vars, &plans).unwrap();
+                totals[which].push(engine.wait(t).unwrap().total());
+            }
+        }
+        let full_mean = totals[0][1..].iter().sum::<usize>() / (EPOCHS - 1);
+        let delta_mean = totals[1][1..].iter().sum::<usize>() / (EPOCHS - 1);
+        let reduction = full_mean as f64 / delta_mean.max(1) as f64;
+        println!(
+            "  {name:<4} base {:>9} B   full epoch {full_mean:>9} B   delta epoch {delta_mean:>9} B   \
+             reduction {reduction:5.1}x {}",
+            totals[1][0],
+            if delta_mean < full_mean { "OK" } else { "FAIL" }
+        );
+    }
+}
+
+criterion_group!(benches, bench_delta_submit);
+
+fn main() {
+    benches();
+    delta_bytes_demo();
+}

@@ -1,0 +1,612 @@
+//! Base+delta checkpoints: the `SCRUTDLT` on-disk format.
+//!
+//! The paper removes *semantic* redundancy (AD proves elements
+//! uncritical); dirty-page incremental checkpointing (Vasavada et al.,
+//! cited in the paper's related work) removes *temporal* redundancy. The
+//! two compose: this module diffs the **serialized data file** of the
+//! AD-pruned checkpoint — the bytes that remain *after* semantic pruning —
+//! at page granularity, so a delta epoch stores only the pages of the
+//! critical regions that actually changed since the parent epoch.
+//!
+//! Layout of one delta file (little-endian, CRC-32 trailer like every
+//! other `scrutiny-ckpt` file):
+//!
+//! ```text
+//! "SCRUTDLT" | format u32 | parent u64 | page_bytes u32 | full_len u64
+//!            | npages u64
+//! per page:  page_id u64 | page payload
+//!            (payload length = min(page_bytes, full_len − id·page_bytes))
+//! crc32 u32
+//! ```
+//!
+//! `parent` names the checkpoint this delta patches; applying the delta to
+//! the parent's reconstructed data-file image yields this epoch's image
+//! **bit-identically** — so [`crate::reader::Checkpoint::from_bytes`], the
+//! auxiliary file, every [`crate::FillPolicy`], and the CRC envelope all
+//! work unchanged on a reconstructed delta checkpoint.
+//!
+//! Dirty pages are detected by *exact byte comparison* against the parent
+//! image, not by hashing: a hash collision here would silently corrupt
+//! every later epoch in the chain. (The [`crate::incremental`] tracker
+//! keeps its cheap page hashes — it models `mprotect`-style bookkeeping
+//! cost, it does not reconstruct state.)
+
+use crate::format::{crc32, CkptError, StorageBreakdown};
+use crate::names;
+use crate::shard::ShardManifest;
+use crate::writer::{put_u32, put_u64};
+
+pub(crate) const DELTA_MAGIC: &[u8; 8] = b"SCRUTDLT";
+const DELTA_VERSION: u32 = 1;
+/// Fixed byte length of the delta header up to and including `npages`.
+const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8;
+/// Chains longer than this are rejected as corrupt (a healthy writer
+/// rebases long before; a cycle would otherwise loop forever).
+const MAX_CHAIN_LEN: usize = 100_000;
+
+/// How a delta-checkpoint chain is grown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaPolicy {
+    /// Diff granularity in bytes (must be ≥ 1).
+    pub page_bytes: usize,
+    /// After this many consecutive delta epochs, the next epoch rebases to
+    /// a fresh full checkpoint (must be ≥ 1). Bounds both restore latency
+    /// (chain length) and retention (a chain pins its base on disk).
+    pub rebase_every: usize,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        DeltaPolicy {
+            page_bytes: crate::incremental::PAGE_BYTES,
+            rebase_every: 8,
+        }
+    }
+}
+
+impl DeltaPolicy {
+    /// Reject unusable policies (zero page size or zero chain length).
+    pub fn validate(&self) -> Result<(), CkptError> {
+        validate_page_bytes(self.page_bytes)?;
+        if self.rebase_every == 0 {
+            return Err(CkptError::InvalidConfig(
+                "a delta chain must allow at least one delta between rebases".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A usable page size: non-zero, and within the header's u32 field — a
+/// silent `as u32` truncation would write deltas that cannot be applied.
+fn validate_page_bytes(page_bytes: usize) -> Result<(), CkptError> {
+    if page_bytes == 0 {
+        return Err(CkptError::InvalidConfig(
+            "delta page size must be positive".into(),
+        ));
+    }
+    if page_bytes > u32::MAX as usize {
+        return Err(CkptError::InvalidConfig(format!(
+            "delta page size {page_bytes} exceeds the format's u32 limit"
+        )));
+    }
+    Ok(())
+}
+
+/// Byte accounting of one serialized delta.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Pages whose bytes changed (or are new) since the parent image.
+    pub dirty_pages: usize,
+    /// Pages the new image spans in total.
+    pub total_pages: usize,
+    /// Dirty-page payload bytes stored in the delta file.
+    pub payload_bytes: usize,
+}
+
+/// Diff `new` against `parent` at `page_bytes` granularity and serialize
+/// the result as a `SCRUTDLT` file that patches checkpoint
+/// `parent_version`. A page is dirty when its bytes differ from the same
+/// byte range of the parent image, or when it extends past the parent's
+/// end (growth); shrinkage needs no pages — apply truncates.
+pub fn diff_images(
+    parent: &[u8],
+    new: &[u8],
+    parent_version: u64,
+    page_bytes: usize,
+) -> Result<(Vec<u8>, DeltaStats), CkptError> {
+    validate_page_bytes(page_bytes)?;
+    let mut stats = DeltaStats::default();
+    let mut dirty: Vec<u64> = Vec::new();
+    for (i, page) in new.chunks(page_bytes).enumerate() {
+        stats.total_pages += 1;
+        let start = i * page_bytes;
+        let end = start + page.len();
+        let clean = end <= parent.len() && &parent[start..end] == page;
+        if !clean {
+            stats.dirty_pages += 1;
+            stats.payload_bytes += page.len();
+            dirty.push(i as u64);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + stats.payload_bytes + dirty.len() * 8 + 4);
+    out.extend_from_slice(DELTA_MAGIC);
+    put_u32(&mut out, DELTA_VERSION);
+    put_u64(&mut out, parent_version);
+    put_u32(&mut out, page_bytes as u32);
+    put_u64(&mut out, new.len() as u64);
+    put_u64(&mut out, dirty.len() as u64);
+    for &id in &dirty {
+        put_u64(&mut out, id);
+        let start = id as usize * page_bytes;
+        let end = (start + page_bytes).min(new.len());
+        out.extend_from_slice(&new[start..end]);
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    Ok((out, stats))
+}
+
+/// The parent version a delta file patches. Reads only the fixed header —
+/// no CRC pass — so retention sweeps can classify chains cheaply; a file
+/// too short to hold the header (or with the wrong magic) is rejected.
+pub fn parent_version(delta: &[u8]) -> Result<u64, CkptError> {
+    parent_header(delta)
+}
+
+/// [`parent_version`] of the delta file at `path`, reading only the
+/// header bytes from disk — retention runs on every save, and a prune
+/// must not pull whole dirty-page payloads into memory just to follow a
+/// 8-byte parent pointer.
+pub fn parent_version_at(path: &std::path::Path) -> Result<u64, CkptError> {
+    use std::io::Read;
+    let f = std::fs::File::open(path)?;
+    let mut buf = Vec::with_capacity(HEADER_LEN + 4);
+    f.take((HEADER_LEN + 4) as u64).read_to_end(&mut buf)?;
+    parent_header(&buf)
+}
+
+fn parent_header(delta: &[u8]) -> Result<u64, CkptError> {
+    if delta.len() < HEADER_LEN + 4 {
+        return Err(CkptError::Corrupt("delta file too short".into()));
+    }
+    if &delta[..8] != DELTA_MAGIC {
+        return Err(CkptError::Corrupt("delta file has wrong magic".into()));
+    }
+    Ok(u64::from_le_bytes(delta[12..20].try_into().unwrap()))
+}
+
+/// Parse and CRC-verify a delta file, then patch `parent` with it:
+/// truncate or zero-extend to the recorded length, overwrite the dirty
+/// pages. Returns the reconstructed data-file image.
+pub fn apply_delta(parent: &[u8], delta: &[u8]) -> Result<Vec<u8>, CkptError> {
+    if delta.len() < HEADER_LEN + 4 {
+        return Err(CkptError::Corrupt("delta file too short".into()));
+    }
+    if &delta[..8] != DELTA_MAGIC {
+        return Err(CkptError::Corrupt("delta file has wrong magic".into()));
+    }
+    let body = &delta[..delta.len() - 4];
+    let expected = u32::from_le_bytes(delta[delta.len() - 4..].try_into().unwrap());
+    let actual = crc32(body);
+    if expected != actual {
+        return Err(CkptError::ChecksumMismatch { expected, actual });
+    }
+    let page_bytes = u32::from_le_bytes(delta[20..24].try_into().unwrap()) as usize;
+    if page_bytes == 0 {
+        return Err(CkptError::Corrupt(
+            "delta file declares zero page size".into(),
+        ));
+    }
+    let full_len = u64::from_le_bytes(delta[24..32].try_into().unwrap()) as usize;
+    let npages = u64::from_le_bytes(delta[32..40].try_into().unwrap()) as usize;
+
+    let mut out = vec![0u8; full_len];
+    let keep = parent.len().min(full_len);
+    out[..keep].copy_from_slice(&parent[..keep]);
+
+    let mut pos = HEADER_LEN;
+    for _ in 0..npages {
+        if pos + 8 > body.len() {
+            return Err(CkptError::Corrupt("delta page table truncated".into()));
+        }
+        let id = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap()) as usize;
+        pos += 8;
+        let start = id
+            .checked_mul(page_bytes)
+            .filter(|&s| s < full_len)
+            .ok_or_else(|| CkptError::Corrupt(format!("delta page {id} lies beyond the image")))?;
+        let len = page_bytes.min(full_len - start);
+        if pos + len > body.len() {
+            return Err(CkptError::Corrupt("delta page payload truncated".into()));
+        }
+        out[start..start + len].copy_from_slice(&body[pos..pos + len]);
+        pos += len;
+    }
+    if pos != body.len() {
+        return Err(CkptError::Corrupt(format!(
+            "delta file has {} trailing bytes after its page table",
+            body.len() - pos
+        )));
+    }
+    Ok(out)
+}
+
+fn is_not_found(e: &CkptError) -> bool {
+    matches!(e, CkptError::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+}
+
+/// Fetch the data-file image of checkpoint `version` in **any** layout:
+/// monolithic (`ckpt_v.data`), sharded (`ckpt_v.smf` + shards), or delta
+/// (`ckpt_v.delta`, walking the parent chain back to a full image and
+/// replaying the deltas forward). `fetch` resolves an object name (see
+/// [`crate::names`]) to its bytes — a directory read for the on-disk
+/// store, a backend `get` for the async engine. Every layer is
+/// CRC-verified: shards against their manifest, deltas against their own
+/// trailer, and the final image still carries the data file's envelope.
+pub fn read_data_image(
+    version: u64,
+    mut fetch: impl FnMut(&str) -> Result<Vec<u8>, CkptError>,
+) -> Result<Vec<u8>, CkptError> {
+    // Walk parents, collecting the deltas newest-first, until a version
+    // with a full (monolithic or sharded) image anchors the chain.
+    let mut deltas: Vec<Vec<u8>> = Vec::new();
+    let mut v = version;
+    let base = loop {
+        match fetch(&names::data(v)) {
+            Ok(data) => break data,
+            Err(e) if is_not_found(&e) => {}
+            Err(e) => return Err(e),
+        }
+        match fetch(&names::manifest(v)) {
+            Ok(m) => {
+                let manifest = ShardManifest::from_bytes(&m)?;
+                let shards: Vec<Vec<u8>> = (0..manifest.shard_count())
+                    .map(|i| fetch(&names::shard(v, i)))
+                    .collect::<Result<_, _>>()?;
+                break manifest.assemble(&shards)?;
+            }
+            Err(e) if is_not_found(&e) => {}
+            Err(e) => return Err(e),
+        }
+        let delta = fetch(&names::delta(v))?;
+        let parent = parent_version(&delta)?;
+        if parent >= v {
+            return Err(CkptError::Corrupt(format!(
+                "delta {v} names parent {parent}, which is not older"
+            )));
+        }
+        deltas.push(delta);
+        if deltas.len() > MAX_CHAIN_LEN {
+            return Err(CkptError::Corrupt(format!(
+                "delta chain from {version} exceeds {MAX_CHAIN_LEN} links"
+            )));
+        }
+        v = parent;
+    };
+    let mut image = base;
+    for delta in deltas.iter().rev() {
+        image = apply_delta(&image, delta)?;
+    }
+    Ok(image)
+}
+
+/// Publish one epoch of a base+delta chain through `put` (a backend
+/// `put` or an atomic file write): decides base-vs-delta from the chain
+/// state, writes the auxiliary object first and the commit marker (data
+/// or delta) last, and returns the epoch's byte accounting plus the new
+/// consecutive-delta count. Shared by [`crate::CheckpointStore::save_delta`]
+/// and the async engine's delta finisher, so the two writers cannot
+/// drift in layout, rebase cadence, or accounting.
+///
+/// `image`/`image_payload_bytes` are the epoch's serialized data file
+/// and its element-payload share; `aux`/`aux_pair_bytes` likewise for
+/// the auxiliary file; `prev` is the last published epoch's image.
+#[allow(clippy::too_many_arguments)]
+pub fn publish_epoch(
+    version: u64,
+    policy: &DeltaPolicy,
+    prev: Option<&(u64, Vec<u8>)>,
+    deltas_since_base: usize,
+    image: &[u8],
+    image_payload_bytes: usize,
+    aux: &[u8],
+    aux_pair_bytes: usize,
+    mut put: impl FnMut(&str, &[u8]) -> Result<(), CkptError>,
+) -> Result<(StorageBreakdown, usize), CkptError> {
+    let aux_header = aux.len() - aux_pair_bytes;
+    if let Some((parent_version, parent)) = prev.filter(|_| deltas_since_base < policy.rebase_every)
+    {
+        let (delta, stats) = diff_images(parent, image, *parent_version, policy.page_bytes)?;
+        put(&names::aux(version), aux)?;
+        put(&names::delta(version), &delta)?;
+        Ok((
+            StorageBreakdown {
+                payload_bytes: stats.payload_bytes,
+                aux_bytes: aux_pair_bytes,
+                header_bytes: delta.len() - stats.payload_bytes + aux_header,
+            },
+            deltas_since_base + 1,
+        ))
+    } else {
+        put(&names::aux(version), aux)?;
+        put(&names::data(version), image)?;
+        Ok((
+            StorageBreakdown {
+                payload_bytes: image_payload_bytes,
+                aux_bytes: aux_pair_bytes,
+                header_bytes: image.len() - image_payload_bytes + aux_header,
+            },
+            0,
+        ))
+    }
+}
+
+/// Classify a listing of object/file names into committed versions and
+/// their kind — `(version, is_delta)`, ascending — the input
+/// [`live_versions`] expects. A version holding both a full image
+/// (data file or shard manifest) and a delta file counts as full:
+/// readers probe the full image first, so the delta is dead weight there.
+pub fn committed_kinds<S: AsRef<str>>(names_list: impl IntoIterator<Item = S>) -> Vec<(u64, bool)> {
+    use std::collections::BTreeMap;
+    let mut kinds: BTreeMap<u64, bool> = BTreeMap::new();
+    for name in names_list {
+        match names::classify(name.as_ref()) {
+            crate::names::CkptName::Data(v) | crate::names::CkptName::Manifest(v) => {
+                kinds.insert(v, false);
+            }
+            crate::names::CkptName::Delta(v) => {
+                kinds.entry(v).or_insert(true);
+            }
+            _ => {}
+        }
+    }
+    kinds.into_iter().collect()
+}
+
+/// Chain-aware retention: which versions must stay on disk when keeping
+/// the newest `keep` checkpoints. `committed` is every committed version,
+/// ascending, flagged `true` when its commit marker is a delta file;
+/// `parent_of` resolves a delta version to its parent (called only for
+/// deltas). The newest `keep` versions are live, and so is every ancestor
+/// a live delta transitively patches — a base is never pruned out from
+/// under a live chain.
+pub fn live_versions(
+    committed: &[(u64, bool)],
+    keep: usize,
+    mut parent_of: impl FnMut(u64) -> Result<u64, CkptError>,
+) -> Result<std::collections::BTreeSet<u64>, CkptError> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let kinds: BTreeMap<u64, bool> = committed.iter().copied().collect();
+    let mut live: BTreeSet<u64> = committed.iter().rev().take(keep).map(|&(v, _)| v).collect();
+    let mut frontier: Vec<u64> = live.iter().copied().collect();
+    while let Some(v) = frontier.pop() {
+        if kinds.get(&v) != Some(&true) {
+            continue; // full checkpoint (or unknown): chain ends here
+        }
+        let parent = parent_of(v)?;
+        if parent >= v {
+            return Err(CkptError::Corrupt(format!(
+                "delta {v} names parent {parent}, which is not older"
+            )));
+        }
+        if live.insert(parent) {
+            frontier.push(parent);
+        }
+    }
+    Ok(live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn image(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31) ^ seed)
+            .collect()
+    }
+
+    #[test]
+    fn identical_images_produce_no_pages() {
+        let a = image(1000, 3);
+        let (delta, stats) = diff_images(&a, &a, 7, 64).unwrap();
+        assert_eq!(stats.dirty_pages, 0);
+        assert_eq!(stats.payload_bytes, 0);
+        assert_eq!(stats.total_pages, 16);
+        assert_eq!(parent_version(&delta).unwrap(), 7);
+        assert_eq!(apply_delta(&a, &delta).unwrap(), a);
+    }
+
+    #[test]
+    fn localized_change_stores_one_page() {
+        let a = image(1024, 0);
+        let mut b = a.clone();
+        b[200] ^= 0xFF;
+        let (delta, stats) = diff_images(&a, &b, 0, 128).unwrap();
+        assert_eq!(stats.dirty_pages, 1);
+        assert_eq!(stats.payload_bytes, 128);
+        assert_eq!(apply_delta(&a, &delta).unwrap(), b);
+        assert!(delta.len() < b.len() / 2, "delta should be much smaller");
+    }
+
+    #[test]
+    fn growth_and_shrink_roundtrip() {
+        let a = image(300, 1);
+        let grown = image(500, 1); // same prefix pattern, longer
+        let (d, s) = diff_images(&a, &grown, 0, 64).unwrap();
+        assert_eq!(apply_delta(&a, &d).unwrap(), grown);
+        // Pages fully inside the old image and unchanged stay clean.
+        assert!(s.dirty_pages < s.total_pages);
+
+        let shrunk = image(100, 1);
+        let (d, _) = diff_images(&grown, &shrunk, 0, 64).unwrap();
+        assert_eq!(apply_delta(&grown, &d).unwrap(), shrunk);
+    }
+
+    #[test]
+    fn tail_partial_page_diffs_exactly() {
+        let a = image(130, 9); // 64 + 64 + 2
+        let mut b = a.clone();
+        b[129] ^= 1;
+        let (d, s) = diff_images(&a, &b, 0, 64).unwrap();
+        assert_eq!(s.total_pages, 3);
+        assert_eq!(s.dirty_pages, 1);
+        assert_eq!(s.payload_bytes, 2);
+        assert_eq!(apply_delta(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn corruption_detected_on_apply() {
+        let a = image(256, 2);
+        let mut b = a.clone();
+        b[0] ^= 1;
+        let (mut d, _) = diff_images(&a, &b, 0, 64).unwrap();
+        let mid = d.len() / 2;
+        d[mid] ^= 0xFF;
+        assert!(matches!(
+            apply_delta(&a, &d),
+            Err(CkptError::ChecksumMismatch { .. })
+        ));
+        let (d, _) = diff_images(&a, &b, 0, 64).unwrap();
+        assert!(apply_delta(&a, &d[..d.len() - 6]).is_err());
+    }
+
+    #[test]
+    fn zero_page_size_is_invalid_config() {
+        assert!(matches!(
+            diff_images(b"a", b"b", 0, 0),
+            Err(CkptError::InvalidConfig(_))
+        ));
+        // A page size beyond the header's u32 field must be rejected up
+        // front, not silently truncated into an unappliable delta.
+        #[cfg(target_pointer_width = "64")]
+        assert!(matches!(
+            diff_images(b"a", b"b", 0, u32::MAX as usize + 1),
+            Err(CkptError::InvalidConfig(_))
+        ));
+        assert!(DeltaPolicy {
+            page_bytes: 0,
+            rebase_every: 4
+        }
+        .validate()
+        .is_err());
+        assert!(DeltaPolicy {
+            page_bytes: 64,
+            rebase_every: 0
+        }
+        .validate()
+        .is_err());
+        DeltaPolicy::default().validate().unwrap();
+    }
+
+    fn mem_fetch(
+        objects: &HashMap<String, Vec<u8>>,
+    ) -> impl FnMut(&str) -> Result<Vec<u8>, CkptError> + '_ {
+        |name| {
+            objects.get(name).cloned().ok_or_else(|| {
+                CkptError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    name.to_string(),
+                ))
+            })
+        }
+    }
+
+    #[test]
+    fn chain_reconstruction_is_bit_identical() {
+        // Base at 0, deltas at 1..=3, each mutating a different page.
+        let mut objects = HashMap::new();
+        let mut img = image(2000, 5);
+        objects.insert(names::data(0), img.clone());
+        for v in 1u64..=3 {
+            let mut next = img.clone();
+            let at = (v as usize * 311) % next.len();
+            next[at] = next[at].wrapping_add(v as u8);
+            let (d, _) = diff_images(&img, &next, v - 1, 128).unwrap();
+            objects.insert(names::delta(v), d);
+            img = next;
+        }
+        let got = read_data_image(3, mem_fetch(&objects)).unwrap();
+        assert_eq!(got, img);
+        // Intermediate versions reconstruct too.
+        assert!(read_data_image(1, mem_fetch(&objects)).is_ok());
+    }
+
+    #[test]
+    fn missing_base_surfaces_not_found() {
+        let mut objects = HashMap::new();
+        let a = image(100, 0);
+        let (d, _) = diff_images(&a, &a, 0, 64).unwrap();
+        objects.insert(names::delta(1), d);
+        // Parent 0 has no image at all.
+        assert!(read_data_image(1, mem_fetch(&objects)).is_err());
+    }
+
+    #[test]
+    fn cyclic_parent_rejected() {
+        let a = image(100, 0);
+        let (d, _) = diff_images(&a, &a, 5, 64).unwrap();
+        let mut objects = HashMap::new();
+        objects.insert(names::delta(5), d);
+        match read_data_image(5, mem_fetch(&objects)) {
+            Err(CkptError::Corrupt(m)) => assert!(m.contains("not older"), "{m}"),
+            other => panic!("expected corrupt-cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn committed_kinds_classifies_and_prefers_full() {
+        let kinds = committed_kinds([
+            names::data(0),
+            names::aux(0),
+            names::delta(1),
+            names::aux(1),
+            names::manifest(2),
+            names::shard(2, 0),
+            // Version 3 has both a full image and a delta: counts full.
+            names::data(3),
+            names::delta(3),
+            "notes.txt".to_string(),
+        ]);
+        assert_eq!(kinds, vec![(0, false), (1, true), (2, false), (3, false)]);
+    }
+
+    #[test]
+    fn parent_version_at_reads_only_the_header() {
+        let dir = std::env::temp_dir().join(format!("scrutiny_dlt_hdr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = image(5000, 4);
+        let mut b = a.clone();
+        b[0] ^= 1;
+        let (d, _) = diff_images(&a, &b, 41, 64).unwrap();
+        let path = dir.join(names::delta(42));
+        std::fs::write(&path, &d).unwrap();
+        assert_eq!(parent_version_at(&path).unwrap(), 41);
+        assert!(parent_version_at(&dir.join(names::delta(7))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_set_pins_chain_ancestors() {
+        // 0 full, 1..=3 deltas (parent = v-1), 4 full, 5 delta (parent 4).
+        let committed = [
+            (0, false),
+            (1, true),
+            (2, true),
+            (3, true),
+            (4, false),
+            (5, true),
+        ];
+        let live = live_versions(&committed, 2, |v| Ok(v - 1)).unwrap();
+        // Newest two are 4 and 5; 5 is a delta whose parent 4 is already
+        // live, so the old chain 0..=3 may go.
+        assert_eq!(live.into_iter().collect::<Vec<_>>(), vec![4, 5]);
+
+        let live = live_versions(&committed[..4], 1, |v| Ok(v - 1)).unwrap();
+        // Keeping only delta 3 pins its whole ancestry.
+        assert_eq!(live.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+}

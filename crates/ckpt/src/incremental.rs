@@ -1,14 +1,18 @@
-//! Page-granularity incremental checkpointing baseline.
+//! Page-granularity incremental checkpointing baseline (accounting).
 //!
 //! The paper's related work cites dirty-page incremental checkpointing
 //! (Vasavada et al.): after the first full checkpoint, only pages whose
-//! contents changed are written. This module implements that scheme over
-//! variable payloads so the evaluation can compare three storage policies:
-//! full, AD-pruned (the paper), and page-incremental (orthogonal: it saves
-//! on *temporal* redundancy while AD pruning saves on *semantic*
-//! redundancy — they compose).
+//! contents changed are written. This module implements that scheme's
+//! *bookkeeping* over variable payloads so the evaluation can compare
+//! three storage policies: full, AD-pruned (the paper), and
+//! page-incremental (orthogonal: it saves on *temporal* redundancy while
+//! AD pruning saves on *semantic* redundancy — they compose). The actual
+//! base+delta on-disk format that composes the two lives in
+//! [`crate::delta`].
 
-use crate::format::VarData;
+use crate::format::{CkptError, VarData};
+use crate::writer::write_elements;
+use std::collections::HashMap;
 
 /// Default page size (bytes), matching a typical OS page.
 pub const PAGE_BYTES: usize = 4096;
@@ -24,27 +28,31 @@ fn page_hash(bytes: &[u8]) -> u64 {
     h
 }
 
-fn payload_bytes(data: &VarData) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.full_bytes());
-    match data {
-        VarData::F64(v) => {
-            for x in v {
-                out.extend_from_slice(&x.to_le_bytes());
-            }
-        }
-        VarData::C128(v) => {
-            for (re, im) in v {
-                out.extend_from_slice(&re.to_le_bytes());
-                out.extend_from_slice(&im.to_le_bytes());
-            }
-        }
-        VarData::I64(v) => {
-            for x in v {
-                out.extend_from_slice(&x.to_le_bytes());
-            }
+/// Stream `data`'s serialized payload (the writer's own wire encoding,
+/// via [`write_elements`]) through `visit`, one page at a time, without
+/// ever materializing the whole payload: elements are serialized in
+/// page-sized batches into a small reusable buffer and full pages are
+/// emitted as they fill. The final page may be shorter than `page_bytes`.
+fn for_each_page(data: &VarData, page_bytes: usize, mut visit: impl FnMut(usize, &[u8])) {
+    let total = data.len() as u64;
+    let elem_bytes = data.dtype().elem_bytes() as u64;
+    let batch = (page_bytes as u64 / elem_bytes).max(1);
+    let mut buf: Vec<u8> = Vec::with_capacity(page_bytes + elem_bytes as usize);
+    let mut page = 0usize;
+    let mut i = 0u64;
+    while i < total {
+        let hi = (i + batch).min(total);
+        write_elements(&mut buf, data, i..hi);
+        i = hi;
+        while buf.len() >= page_bytes {
+            visit(page, &buf[..page_bytes]);
+            page += 1;
+            buf.drain(..page_bytes);
         }
     }
-    out
+    if !buf.is_empty() {
+        visit(page, &buf);
+    }
 }
 
 /// Storage cost of one incremental step.
@@ -59,52 +67,58 @@ pub struct IncrementalReport {
 }
 
 /// Tracks page hashes across checkpoint epochs for one application.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct IncrementalTracker {
-    /// Per variable: page hashes from the previous checkpoint.
-    prev: Vec<(String, Vec<u64>)>,
+    /// Per variable (keyed by name): page hashes from the previous
+    /// checkpoint. A variable absent from an epoch drops its state, so a
+    /// reappearing variable is treated as entirely new.
+    prev: HashMap<String, Vec<u64>>,
     page_bytes: usize,
 }
 
 impl IncrementalTracker {
     /// New tracker with the default page size.
     pub fn new() -> Self {
-        Self::with_page_size(PAGE_BYTES)
+        Self::with_page_size(PAGE_BYTES).expect("PAGE_BYTES is non-zero")
     }
 
-    /// New tracker with a custom page size (must be non-zero).
-    pub fn with_page_size(page_bytes: usize) -> Self {
-        assert!(page_bytes > 0, "page size must be positive");
-        IncrementalTracker {
-            prev: Vec::new(),
-            page_bytes,
+    /// New tracker with a custom page size; a zero page size is
+    /// [`CkptError::InvalidConfig`] (the same typed error the store
+    /// returns for `keep = 0`, not a panic).
+    pub fn with_page_size(page_bytes: usize) -> Result<Self, CkptError> {
+        if page_bytes == 0 {
+            return Err(CkptError::InvalidConfig(
+                "incremental page size must be positive".into(),
+            ));
         }
+        Ok(IncrementalTracker {
+            prev: HashMap::new(),
+            page_bytes,
+        })
     }
 
     /// Record a checkpoint epoch: returns how much an incremental scheme
-    /// would write for `vars` given the previously seen contents.
+    /// would write for `vars` given the previously seen contents. One
+    /// serialization pass per variable — pages are hashed directly from
+    /// the streamed wire encoding and compared against the previous
+    /// epoch's hashes as they are produced.
     pub fn step(&mut self, vars: &[(String, VarData)]) -> IncrementalReport {
         let mut report = IncrementalReport::default();
-        let mut next: Vec<(String, Vec<u64>)> = Vec::with_capacity(vars.len());
+        let mut next: HashMap<String, Vec<u64>> = HashMap::with_capacity(vars.len());
         for (name, data) in vars {
-            let bytes = payload_bytes(data);
-            let hashes: Vec<u64> = bytes.chunks(self.page_bytes).map(page_hash).collect();
-            let prev = self
-                .prev
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, h)| h.as_slice())
-                .unwrap_or(&[]);
-            for (i, chunk) in bytes.chunks(self.page_bytes).enumerate() {
+            let prev = self.prev.get(name).map(Vec::as_slice).unwrap_or(&[]);
+            let mut hashes = Vec::with_capacity(data.full_bytes().div_ceil(self.page_bytes.max(1)));
+            for_each_page(data, self.page_bytes, |i, page| {
+                let h = page_hash(page);
                 report.total_pages += 1;
-                let changed = prev.get(i).map_or(true, |&h| h != hashes[i]);
-                if changed {
+                if prev.get(i) != Some(&h) {
                     report.dirty_pages += 1;
-                    report.bytes_written += chunk.len();
+                    report.bytes_written += page.len();
                 }
-            }
+                hashes.push(h);
+            });
             // Page index: one u64 page id per dirty page.
-            next.push((name.clone(), hashes));
+            next.insert(name.clone(), hashes);
         }
         report.bytes_written += report.dirty_pages * 8;
         self.prev = next;
@@ -122,7 +136,7 @@ mod tests {
 
     #[test]
     fn first_epoch_writes_everything() {
-        let mut t = IncrementalTracker::with_page_size(64);
+        let mut t = IncrementalTracker::with_page_size(64).unwrap();
         let vars = vec![f64_var("u", vec![1.0; 32])]; // 256 bytes = 4 pages
         let r = t.step(&vars);
         assert_eq!(r.total_pages, 4);
@@ -132,7 +146,7 @@ mod tests {
 
     #[test]
     fn unchanged_epoch_writes_nothing() {
-        let mut t = IncrementalTracker::with_page_size(64);
+        let mut t = IncrementalTracker::with_page_size(64).unwrap();
         let vars = vec![f64_var("u", vec![1.0; 32])];
         t.step(&vars);
         let r = t.step(&vars);
@@ -142,7 +156,7 @@ mod tests {
 
     #[test]
     fn localized_write_dirties_one_page() {
-        let mut t = IncrementalTracker::with_page_size(64);
+        let mut t = IncrementalTracker::with_page_size(64).unwrap();
         let mut vals = vec![1.0f64; 32];
         t.step(&[f64_var("u", vals.clone())]);
         vals[0] = 2.0; // first page only
@@ -153,7 +167,7 @@ mod tests {
 
     #[test]
     fn growing_variable_is_handled() {
-        let mut t = IncrementalTracker::with_page_size(64);
+        let mut t = IncrementalTracker::with_page_size(64).unwrap();
         t.step(&[f64_var("u", vec![1.0; 8])]);
         let r = t.step(&[f64_var("u", vec![1.0; 32])]);
         // First page unchanged, three new pages dirty.
@@ -162,8 +176,62 @@ mod tests {
     }
 
     #[test]
+    fn shrinking_variable_is_handled() {
+        let mut t = IncrementalTracker::with_page_size(64).unwrap();
+        t.step(&[f64_var("u", vec![1.0; 32])]); // 4 pages
+        let r = t.step(&[f64_var("u", vec![1.0; 8])]); // 1 page, same bytes
+        assert_eq!(r.total_pages, 1);
+        assert_eq!(r.dirty_pages, 0, "the surviving full page is unchanged");
+        // Shrinking to a *partial* page rehashes different content.
+        let r = t.step(&[f64_var("u", vec![1.0; 4])]); // 32 bytes
+        assert_eq!(r.total_pages, 1);
+        assert_eq!(r.dirty_pages, 1, "a now-partial page hashes differently");
+        // And the dropped pages do not haunt a later regrowth: page 0 is
+        // compared against the 32-byte page, not the original 64-byte one.
+        let r = t.step(&[f64_var("u", vec![1.0; 32])]);
+        assert_eq!(r.dirty_pages, 4);
+    }
+
+    #[test]
+    fn disappearing_and_reappearing_variable_rewrites_fully() {
+        let mut t = IncrementalTracker::with_page_size(64).unwrap();
+        let u = f64_var("u", vec![3.0; 16]); // 2 pages
+        let w = f64_var("w", vec![4.0; 8]); // 1 page
+        t.step(&[u.clone(), w.clone()]);
+        // "w" disappears: only "u" is accounted, nothing is dirty.
+        let r = t.step(std::slice::from_ref(&u));
+        assert_eq!(r.total_pages, 2);
+        assert_eq!(r.dirty_pages, 0);
+        // "w" reappears unchanged — but its state was dropped, so an
+        // incremental scheme must conservatively rewrite it in full.
+        let r = t.step(&[u, w]);
+        assert_eq!(r.total_pages, 3);
+        assert_eq!(r.dirty_pages, 1);
+        assert_eq!(r.bytes_written, 64 + 8);
+    }
+
+    #[test]
+    fn many_variables_keyed_by_name_not_position() {
+        let mut t = IncrementalTracker::with_page_size(64).unwrap();
+        let a = f64_var("a", vec![1.0; 8]);
+        let b = f64_var("b", vec![2.0; 8]);
+        t.step(&[a.clone(), b.clone()]);
+        // Same variables, swapped order: nothing is dirty.
+        let r = t.step(&[b, a]);
+        assert_eq!(r.dirty_pages, 0);
+    }
+
+    #[test]
+    fn zero_page_size_is_invalid_config_not_a_panic() {
+        match IncrementalTracker::with_page_size(0) {
+            Err(CkptError::InvalidConfig(m)) => assert!(m.contains("positive")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn complex_and_int_payloads_hash() {
-        let mut t = IncrementalTracker::with_page_size(32);
+        let mut t = IncrementalTracker::with_page_size(32).unwrap();
         let vars = vec![
             ("y".to_string(), VarData::C128(vec![(1.0, 2.0); 4])),
             ("k".to_string(), VarData::I64(vec![7; 4])),
@@ -172,5 +240,20 @@ mod tests {
         assert!(r1.dirty_pages > 0);
         let r2 = t.step(&vars);
         assert_eq!(r2.dirty_pages, 0);
+    }
+
+    #[test]
+    fn page_size_not_a_multiple_of_element_width() {
+        // 24-byte pages over 16-byte complex elements: elements straddle
+        // page boundaries and the streaming pager must still chunk the
+        // wire encoding exactly like `chunks(page_bytes)` would.
+        let mut t = IncrementalTracker::with_page_size(24).unwrap();
+        let vars = vec![("y".to_string(), VarData::C128(vec![(1.5, -2.5); 5]))]; // 80 B
+        let r = t.step(&vars);
+        assert_eq!(r.total_pages, 4); // 24+24+24+8
+        assert_eq!(r.dirty_pages, 4);
+        assert_eq!(r.bytes_written, 80 + 4 * 8);
+        let r = t.step(&vars);
+        assert_eq!(r.dirty_pages, 0);
     }
 }

@@ -19,14 +19,20 @@
 //!   to memory or to disk; restore materializes full-size buffers, filling
 //!   uncritical holes according to a [`FillPolicy`].
 //! * [`store`] — a versioned multi-checkpoint directory (keep-last-k), the
-//!   usual operational shape of application-level C/R.
-//! * [`incremental`] — a page-granularity incremental checkpoint baseline
-//!   (à la dirty-page tracking, cf. Vasavada et al. in the paper's related
-//!   work) for storage comparisons.
+//!   usual operational shape of application-level C/R, with chain-aware
+//!   retention for delta checkpoints.
+//! * [`delta`] — base+delta checkpoints (`SCRUTDLT`): epoch N stores a
+//!   full image, epochs N+1… store only the dirty pages of the AD-pruned
+//!   data file, so temporal and semantic pruning compose; reconstruction
+//!   is bit-identical to a monolithic save.
+//! * [`incremental`] — a page-granularity incremental *accounting*
+//!   baseline (à la dirty-page tracking, cf. Vasavada et al. in the
+//!   paper's related work) for storage comparisons.
 
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod delta;
 pub mod format;
 pub mod incremental;
 pub mod names;
@@ -37,6 +43,7 @@ pub mod store;
 pub mod writer;
 
 pub use bitmap::Bitmap;
+pub use delta::{DeltaPolicy, DeltaStats};
 pub use format::{
     CkptError, Crc32, DType, FillPolicy, StorageBreakdown, VarData, VarPlan, VarRecord,
 };

@@ -10,6 +10,8 @@
 //! * `ckpt_vvvvvv.aux` — auxiliary region file.
 //! * `ckpt_vvvvvv.data.sNNN` — one data shard (sharded layout).
 //! * `ckpt_vvvvvv.smf` — shard manifest (sharded layout's commit marker).
+//! * `ckpt_vvvvvv.delta` — dirty pages against a parent checkpoint (the
+//!   delta layout's commit marker; see [`crate::delta`]).
 //! * `*.tmp` — an in-progress atomic write; never a published object.
 
 /// Monolithic data object/file name for `version`.
@@ -32,6 +34,11 @@ pub fn shard(version: u64, shard: usize) -> String {
     format!("ckpt_{version:06}.data.s{shard:03}")
 }
 
+/// Delta object/file name for `version` (base+delta layout).
+pub fn delta(version: u64) -> String {
+    format!("ckpt_{version:06}.delta")
+}
+
 /// What a checkpoint object/file name denotes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CkptName {
@@ -48,6 +55,8 @@ pub enum CkptName {
         /// Zero-based shard index.
         shard: usize,
     },
+    /// `ckpt_v.delta` — dirty pages against a parent checkpoint.
+    Delta(u64),
     /// `*.tmp` — an interrupted atomic write.
     Tmp,
     /// Not a checkpoint name.
@@ -72,6 +81,7 @@ pub fn classify(name: &str) -> CkptName {
         "data" => CkptName::Data(version),
         "smf" => CkptName::Manifest(version),
         "aux" => CkptName::Aux(version),
+        "delta" => CkptName::Delta(version),
         s => match s.strip_prefix("data.s").map(str::parse::<usize>) {
             Some(Ok(shard)) => CkptName::Shard { version, shard },
             _ => CkptName::Other,
@@ -79,11 +89,12 @@ pub fn classify(name: &str) -> CkptName {
     }
 }
 
-/// The version a name *commits*: a monolithic data file or a shard
-/// manifest. Aux files and bare shards do not make a checkpoint visible.
+/// The version a name *commits*: a monolithic data file, a shard
+/// manifest, or a delta file. Aux files and bare shards do not make a
+/// checkpoint visible.
 pub fn committed_version(name: &str) -> Option<u64> {
     match classify(name) {
-        CkptName::Data(v) | CkptName::Manifest(v) => Some(v),
+        CkptName::Data(v) | CkptName::Manifest(v) | CkptName::Delta(v) => Some(v),
         _ => None,
     }
 }
@@ -104,7 +115,9 @@ mod tests {
                 shard: 17
             }
         );
+        assert_eq!(classify(&delta(6)), CkptName::Delta(6));
         assert_eq!(classify("ckpt_000004.data.tmp"), CkptName::Tmp);
+        assert_eq!(classify("ckpt_000004.delta.tmp"), CkptName::Tmp);
         assert_eq!(classify("notes.txt"), CkptName::Other);
         assert_eq!(classify("ckpt_abc.data"), CkptName::Other);
         assert_eq!(classify("ckpt_000004.data.sx"), CkptName::Other);
@@ -114,6 +127,7 @@ mod tests {
     fn committed_versions() {
         assert_eq!(committed_version(&data(9)), Some(9));
         assert_eq!(committed_version(&manifest(9)), Some(9));
+        assert_eq!(committed_version(&delta(9)), Some(9));
         assert_eq!(committed_version(&aux(9)), None);
         assert_eq!(committed_version(&shard(9, 0)), None);
         assert_eq!(committed_version("junk"), None);

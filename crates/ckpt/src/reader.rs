@@ -314,26 +314,18 @@ impl Checkpoint {
 
     /// Load checkpoint `version` from a store directory.
     ///
-    /// Accepts both on-disk layouts: the monolithic `ckpt_v.data` file,
-    /// and the sharded layout the async engine's workers produce
+    /// Accepts every on-disk layout: the monolithic `ckpt_v.data` file,
+    /// the sharded layout the async engine's workers produce
     /// (`ckpt_v.data.sNNN` segments described by a `ckpt_v.smf`
-    /// manifest), which is reassembled and CRC-verified shard by shard
-    /// before parsing.
+    /// manifest, reassembled and CRC-verified shard by shard), and the
+    /// base+delta layout (`ckpt_v.delta`, whose parent chain is walked
+    /// back to a full image and replayed forward — see [`crate::delta`]).
     pub fn load(dir: &Path, version: u64) -> Result<Self, CkptError> {
-        let (data_path, aux_path) = file_names(dir, version);
+        let (_, aux_path) = file_names(dir, version);
         let aux = fs::read(&aux_path)?;
-        let data = match fs::read(&data_path) {
-            Ok(d) => d,
-            // Only a definite "no such file" means the checkpoint may be
-            // sharded; any other failure (permissions, I/O) surfaces
-            // as itself instead of a misleading missing-manifest error.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                crate::shard::read_sharded_data(version, |name| {
-                    fs::read(dir.join(name)).map_err(CkptError::from)
-                })?
-            }
-            Err(e) => return Err(e.into()),
-        };
+        let data = crate::delta::read_data_image(version, |name| {
+            fs::read(dir.join(name)).map_err(CkptError::from)
+        })?;
         Self::from_bytes(&data, &aux)
     }
 

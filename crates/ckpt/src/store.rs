@@ -1,11 +1,18 @@
 //! Versioned checkpoint store: the operational wrapper HPC users expect
 //! ("save several versions of checkpoint files to make the data more
 //! durable" — paper §II.A), with keep-last-k retention.
+//!
+//! Retention is *chain-aware*: a delta checkpoint (see [`crate::delta`])
+//! only restores through its ancestors, so pruning keeps every version a
+//! retained delta transitively patches — a base is never deleted out from
+//! under a live chain; old chains fall away wholesale once a newer full
+//! checkpoint ages them out.
 
+use crate::delta::{self, DeltaPolicy};
 use crate::format::{CkptError, StorageBreakdown, VarPlan, VarRecord};
 use crate::names::{classify, CkptName};
 use crate::reader::Checkpoint;
-use crate::writer::write_checkpoint;
+use crate::writer::{serialize, write_checkpoint, write_file_atomic};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -16,6 +23,12 @@ pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
     next_version: u64,
+    /// Delta-chain state: the last saved data-file image and its version,
+    /// plus how many consecutive deltas the chain has grown since its
+    /// base. Per-open: the first [`CheckpointStore::save_delta`] after
+    /// `open` always writes a full base (chains never span reopens).
+    chain: Option<(u64, Vec<u8>)>,
+    deltas_since_base: usize,
 }
 
 impl CheckpointStore {
@@ -43,6 +56,8 @@ impl CheckpointStore {
             dir,
             keep,
             next_version,
+            chain: None,
+            deltas_since_base: 0,
         })
     }
 
@@ -62,21 +77,22 @@ impl CheckpointStore {
     /// Delete files interrupted writes leave behind. Writers publish
     /// `.tmp` → rename, data/shards before the manifest, and data before
     /// aux is *read*, so: `.tmp` files are always debris, an `.aux` with
-    /// no data file or manifest is unreachable, and shards with no
-    /// manifest were never committed.
+    /// no commit marker (data file, manifest, or delta) is unreachable,
+    /// and shards with no manifest were never committed.
     fn sweep_orphans(dir: &Path) -> Result<(), CkptError> {
-        let mut data = BTreeSet::new();
+        let mut committed = BTreeSet::new();
         let mut manifests = BTreeSet::new();
         let mut entries = Vec::new();
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
             match classify(&name) {
-                CkptName::Data(v) => {
-                    data.insert(v);
+                CkptName::Data(v) | CkptName::Delta(v) => {
+                    committed.insert(v);
                 }
                 CkptName::Manifest(v) => {
                     manifests.insert(v);
+                    committed.insert(v);
                 }
                 _ => {}
             }
@@ -85,7 +101,7 @@ impl CheckpointStore {
         for (name, path) in entries {
             let doomed = match classify(&name) {
                 CkptName::Tmp => true,
-                CkptName::Aux(v) => !data.contains(&v) && !manifests.contains(&v),
+                CkptName::Aux(v) => !committed.contains(&v),
                 CkptName::Shard { version, .. } => !manifests.contains(&version),
                 _ => false,
             };
@@ -111,36 +127,100 @@ impl CheckpointStore {
         let version = self.next_version;
         let breakdown = write_checkpoint(&self.dir, version, vars, plans)?;
         self.next_version += 1;
+        // A full save outside the delta API breaks the in-memory chain
+        // state; the next save_delta starts a fresh base.
+        self.chain = None;
+        self.deltas_since_base = 0;
+        self.prune()?;
+        Ok((version, breakdown))
+    }
+
+    /// Write the next checkpoint version as part of a base+delta chain:
+    /// the first call (and every call after `policy.rebase_every`
+    /// consecutive deltas) writes a full base; the calls in between write
+    /// only the pages of the serialized (AD-pruned) data file that
+    /// changed since the previous epoch, as a `ckpt_v.delta` file (see
+    /// [`crate::delta`]). Every version — base or delta — loads through
+    /// [`CheckpointStore::load`] like any other checkpoint.
+    pub fn save_delta(
+        &mut self,
+        vars: &[VarRecord],
+        plans: &[VarPlan],
+        policy: &DeltaPolicy,
+    ) -> Result<(u64, StorageBreakdown), CkptError> {
+        policy.validate()?;
+        let version = self.next_version;
+        let ser = serialize(vars, plans)?;
+        fs::create_dir_all(&self.dir)?;
+        let (breakdown, deltas_since_base) = delta::publish_epoch(
+            version,
+            policy,
+            self.chain.as_ref(),
+            self.deltas_since_base,
+            &ser.data,
+            ser.breakdown.payload_bytes,
+            &ser.aux,
+            ser.breakdown.aux_bytes,
+            |name, bytes| write_file_atomic(&self.dir.join(name), bytes),
+        )?;
+        self.deltas_since_base = deltas_since_base;
+        self.chain = Some((version, ser.data));
+        self.next_version += 1;
         self.prune()?;
         Ok((version, breakdown))
     }
 
     /// Remove every file of each version beyond the retention limit, in
-    /// either layout, with a single directory scan. Manifests go first so
-    /// a crash mid-removal leaves orphans the next `open` sweeps, not a
-    /// half checkpoint that still looks committed.
+    /// any layout, with a single directory scan — except versions a
+    /// retained delta chain still depends on (computed by
+    /// [`crate::delta::live_versions`]). Commit markers go first (newest
+    /// version first) so a crash mid-removal leaves orphans the next
+    /// `open` sweeps, not a committed-looking checkpoint that is half
+    /// gone or whose chain ancestors are gone.
     fn prune(&self) -> Result<(), CkptError> {
-        let versions = Self::scan_versions(&self.dir)?;
-        if versions.len() <= self.keep {
-            return Ok(());
-        }
-        let doomed: BTreeSet<u64> = versions[..versions.len() - self.keep]
-            .iter()
-            .copied()
-            .collect();
-        for &v in &doomed {
-            let _ = fs::remove_file(crate::writer::manifest_file_name(&self.dir, v));
-        }
+        let mut entries = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
-            let version = match classify(&name) {
-                CkptName::Data(v) | CkptName::Aux(v) | CkptName::Manifest(v) => Some(v),
+            entries.push((name, entry.path()));
+        }
+        let committed = delta::committed_kinds(entries.iter().map(|(n, _)| n.as_str()));
+        if committed.len() <= self.keep {
+            return Ok(());
+        }
+        let live = delta::live_versions(&committed, self.keep, |v| {
+            delta::parent_version_at(&self.dir.join(crate::names::delta(v)))
+        })?;
+        let doomed: BTreeSet<u64> = committed
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|v| !live.contains(v))
+            .collect();
+        if doomed.is_empty() {
+            return Ok(());
+        }
+        // Commit markers first, newest version first: a doomed chain's
+        // child deltas must stop looking committed before their base
+        // disappears, so a crash mid-prune leaves (at worst) an intact,
+        // still-loadable prefix of the chain plus orphans the next
+        // `open` sweeps — never a committed-looking version whose
+        // ancestors are gone.
+        for &v in doomed.iter().rev() {
+            let _ = fs::remove_file(self.dir.join(crate::names::delta(v)));
+            let _ = fs::remove_file(crate::writer::manifest_file_name(&self.dir, v));
+            let _ = fs::remove_file(self.dir.join(crate::names::data(v)));
+        }
+        for (name, path) in &entries {
+            let version = match classify(name) {
+                CkptName::Data(v)
+                | CkptName::Aux(v)
+                | CkptName::Manifest(v)
+                | CkptName::Delta(v) => Some(v),
                 CkptName::Shard { version, .. } => Some(version),
                 CkptName::Tmp | CkptName::Other => None,
             };
             if version.is_some_and(|v| doomed.contains(&v)) {
-                let _ = fs::remove_file(entry.path());
+                let _ = fs::remove_file(path);
             }
         }
         Ok(())
@@ -280,6 +360,133 @@ mod tests {
         );
         // The surviving checkpoint still loads.
         assert!(store.load_latest().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_delta_writes_base_then_deltas_and_rebases() {
+        use crate::names;
+        let dir = tmpdir("delta_chain");
+        let mut store = CheckpointStore::open(&dir, 16).unwrap();
+        let policy = DeltaPolicy {
+            page_bytes: 64,
+            rebase_every: 2,
+        };
+        let mut vals = vec![0.5f64; 64];
+        for i in 0..5u64 {
+            vals[0] = i as f64; // localized change: first page only
+            let vars = vec![VarRecord::new("x", VarData::F64(vals.clone()))];
+            let (v, bd) = store.save_delta(&vars, &[VarPlan::Full], &policy).unwrap();
+            assert_eq!(v, i);
+            // Every version restores through the ordinary reader.
+            let got = store
+                .load(v)
+                .unwrap()
+                .var("x")
+                .unwrap()
+                .materialize_f64(FillPolicy::Zero)
+                .unwrap();
+            assert_eq!(got, vals, "version {v}");
+            // rebase_every = 2 → epochs 1, 2 and 4 are deltas (0 and 3
+            // are full); a one-page delta is far smaller than the payload.
+            if matches!(i, 1 | 2 | 4) {
+                assert!(
+                    bd.total() < 64 * 8,
+                    "epoch {i}: delta wrote {} bytes",
+                    bd.total()
+                );
+            }
+        }
+        // rebase_every = 2 → versions 0 and 3 are full, the rest deltas.
+        for (v, is_delta) in [(0, false), (1, true), (2, true), (3, false), (4, true)] {
+            assert_eq!(
+                dir.join(names::delta(v)).exists(),
+                is_delta,
+                "version {v} delta marker"
+            );
+            assert_eq!(
+                dir.join(names::data(v)).exists(),
+                !is_delta,
+                "version {v} data marker"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chain_aware_prune_never_orphans_a_live_delta() {
+        let dir = tmpdir("delta_ret");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        let policy = DeltaPolicy {
+            page_bytes: 64,
+            rebase_every: 3,
+        };
+        let mut vals = vec![1.0f64; 32];
+        for i in 0..4u64 {
+            vals[0] = i as f64;
+            let vars = vec![VarRecord::new("x", VarData::F64(vals.clone()))];
+            store.save_delta(&vars, &[VarPlan::Full], &policy).unwrap();
+        }
+        // Versions: 0 full, 1..=3 deltas. keep=2 would naively leave
+        // {2, 3}, but both chain back to base 0 — everything must stay.
+        assert_eq!(store.versions().unwrap(), vec![0, 1, 2, 3]);
+        assert!(store.load(3).unwrap().var("x").is_ok());
+
+        // Two more epochs: 4 is a rebase (full), 5 a delta on 4. Now the
+        // newest two {4, 5} only need 4, so the old chain 0..=3 goes.
+        for i in 4..6u64 {
+            vals[0] = i as f64;
+            let vars = vec![VarRecord::new("x", VarData::F64(vals.clone()))];
+            store.save_delta(&vars, &[VarPlan::Full], &policy).unwrap();
+        }
+        assert_eq!(store.versions().unwrap(), vec![4, 5]);
+        let got = store
+            .load(5)
+            .unwrap()
+            .var("x")
+            .unwrap()
+            .materialize_f64(FillPolicy::Zero)
+            .unwrap();
+        assert_eq!(got, vals);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_delta_rejects_invalid_policy() {
+        let dir = tmpdir("delta_cfg");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        let bad = DeltaPolicy {
+            page_bytes: 0,
+            rebase_every: 2,
+        };
+        assert!(matches!(
+            store.save_delta(&var(1.0), &[VarPlan::Full], &bad),
+            Err(CkptError::InvalidConfig(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_keeps_aux_of_delta_committed_versions() {
+        let dir = tmpdir("delta_sweep");
+        let policy = DeltaPolicy {
+            page_bytes: 64,
+            rebase_every: 4,
+        };
+        {
+            let mut store = CheckpointStore::open(&dir, 4).unwrap();
+            store
+                .save_delta(&var(1.0), &[VarPlan::Full], &policy)
+                .unwrap();
+            store
+                .save_delta(&var(2.0), &[VarPlan::Full], &policy)
+                .unwrap();
+        }
+        // Reopen: version 1's only data marker is its .delta file — the
+        // sweep must not treat its aux as an orphan.
+        let store = CheckpointStore::open(&dir, 4).unwrap();
+        assert_eq!(store.versions().unwrap(), vec![0, 1]);
+        assert!(store.load(1).is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
 

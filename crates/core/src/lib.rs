@@ -84,6 +84,6 @@ pub use scrutiny_ad::{Adj, Cplx, Dual, Real};
 pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};
 // Re-export the async checkpoint engine so applications wire one crate.
 pub use scrutiny_engine::{
-    DirBackend, EngineConfig, EngineError, EngineHandle, Layout, MemBackend, ShardedBackend,
-    Snapshot, StorageBackend, Ticket,
+    DeltaPolicy, DirBackend, EngineConfig, EngineError, EngineHandle, Layout, MemBackend,
+    ShardedBackend, Snapshot, StorageBackend, Ticket,
 };

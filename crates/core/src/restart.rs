@@ -364,6 +364,51 @@ mod tests {
     }
 
     #[test]
+    fn delta_chain_restart_verifies_with_garbage_fill() {
+        use scrutiny_engine::{DeltaPolicy, EngineConfig, MemBackend};
+        use std::sync::Arc;
+
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app);
+        let cfg = RestartConfig::default();
+        let engine = EngineHandle::open(
+            Arc::new(MemBackend::new()),
+            EngineConfig {
+                delta: Some(DeltaPolicy {
+                    page_bytes: 64,
+                    rebase_every: 8,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Grow a chain: a base plus two mutated delta epochs, so the
+        // final verification epoch restores through real dirty pages.
+        let vars = capture_state(&app);
+        let plans = plans_for(&analysis, cfg.policy);
+        for epoch in 0..3 {
+            let mut vars = vars.clone();
+            if let VarData::F64(v) = &mut vars[0].data {
+                v[epoch] += 0.5; // localized, critical-region update
+            }
+            let t = engine.submit(&vars, &plans).unwrap();
+            engine.wait(t).unwrap();
+        }
+
+        // The §IV.C cycle on top of the chain: the checkpoint under test
+        // is itself a delta; restore walks base → deltas through the
+        // existing reader, fills the pruned holes with garbage, and the
+        // restarted run must still verify.
+        let report = checkpoint_restart_cycle_async(&app, &analysis, &cfg, &engine).unwrap();
+        assert!(report.verified, "rel err {}", report.rel_err);
+        assert!(
+            report.storage.total() < report.full_storage.total(),
+            "a delta epoch must write less than a full checkpoint"
+        );
+    }
+
+    #[test]
     fn async_report_matches_blocking_report() {
         use scrutiny_engine::{EngineConfig, EngineHandle, MemBackend};
         use std::sync::Arc;

@@ -42,10 +42,6 @@ pub trait StorageBackend: Send + Sync {
     fn label(&self) -> String;
 }
 
-fn is_not_found(e: &CkptError) -> bool {
-    matches!(e, CkptError::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
-}
-
 /// Committed checkpoint versions in a backend, ascending.
 pub fn list_versions(backend: &dyn StorageBackend) -> Result<Vec<u64>, EngineError> {
     let mut versions: Vec<u64> = backend
@@ -60,33 +56,54 @@ pub fn list_versions(backend: &dyn StorageBackend) -> Result<Vec<u64>, EngineErr
 
 /// Read checkpoint `version` back out of a backend as `(data, aux)` byte
 /// images for [`scrutiny_ckpt::Checkpoint::from_bytes`] — reassembling
-/// and CRC-verifying the sharded layout when no monolithic object exists.
+/// and CRC-verifying the sharded layout, or reconstructing a delta chain
+/// (see [`scrutiny_ckpt::delta`]), when no monolithic object exists.
+/// Layout probing only follows a definite "no such object"; a permission
+/// or I/O failure surfaces as itself.
 pub fn read_version(
     backend: &dyn StorageBackend,
     version: u64,
 ) -> Result<(Vec<u8>, Vec<u8>), EngineError> {
     let aux = backend.get(&names::aux(version))?;
-    let data = match backend.get(&names::data(version)) {
-        Ok(d) => d,
-        // Only a definite "no such object" means the checkpoint may be
-        // sharded; a permission or I/O failure must surface as itself.
-        Err(e) if is_not_found(&e) => {
-            scrutiny_ckpt::shard::read_sharded_data(version, |name| backend.get(name))?
-        }
-        Err(e) => return Err(e.into()),
-    };
+    let data = scrutiny_ckpt::delta::read_data_image(version, |name| backend.get(name))?;
     Ok((data, aux))
 }
 
-/// Delete every object of checkpoint `version` (manifest first, so a
-/// partial delete reads as uncommitted, never as a corrupt checkpoint).
+/// Delete every object of checkpoint `version` (commit markers — manifest
+/// and delta — first, so a partial delete reads as uncommitted, never as
+/// a corrupt checkpoint).
 pub fn delete_version(backend: &dyn StorageBackend, version: u64) -> Result<(), EngineError> {
     backend.delete(&names::manifest(version))?;
+    backend.delete(&names::delta(version))?;
     backend.delete(&names::data(version))?;
     backend.delete(&names::aux(version))?;
     for name in backend.list()? {
         if matches!(names::classify(&name), CkptName::Shard { version: v, .. } if v == version) {
             backend.delete(&name)?;
+        }
+    }
+    Ok(())
+}
+
+/// Chain-aware keep-last-`keep` retention over a backend: delete every
+/// committed version that is neither among the newest `keep` nor an
+/// ancestor a retained delta chain still restores through (computed by
+/// [`scrutiny_ckpt::delta::live_versions`]).
+pub fn prune_chain_aware(backend: &dyn StorageBackend, keep: usize) -> Result<(), EngineError> {
+    let committed = scrutiny_ckpt::delta::committed_kinds(backend.list()?);
+    if committed.len() <= keep {
+        return Ok(());
+    }
+    let live = scrutiny_ckpt::delta::live_versions(&committed, keep, |v| {
+        scrutiny_ckpt::delta::parent_version(&backend.get(&names::delta(v))?)
+    })?;
+    // Newest first: a doomed chain's child deltas must stop looking
+    // committed before their base disappears (`delete_version` removes
+    // commit markers first within a version), so a crash mid-sweep never
+    // leaves a committed-looking version whose ancestors are gone.
+    for &(v, _) in committed.iter().rev() {
+        if !live.contains(&v) {
+            delete_version(backend, v)?;
         }
     }
     Ok(())

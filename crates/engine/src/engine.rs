@@ -18,13 +18,14 @@
 //! 4. `wait(ticket)` / `drain()` deliver the [`StorageBreakdown`] — or
 //!    the worker's failure — back on the compute thread.
 
-use crate::backend::{delete_version, list_versions, StorageBackend};
+use crate::backend::{list_versions, prune_chain_aware, StorageBackend};
 use crate::error::EngineError;
 use crate::snapshot::{Snapshot, StagingGate};
+use scrutiny_ckpt::delta::{publish_epoch, DeltaPolicy};
 use scrutiny_ckpt::names;
 use scrutiny_ckpt::shard::{plan_shards, seal_shards, serialize_shard, ShardPlan};
 use scrutiny_ckpt::{serialize_aux, StorageBreakdown, VarPlan, VarRecord};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -55,8 +56,18 @@ pub struct EngineConfig {
     pub target_shards: usize,
     /// Storage layout for published checkpoints.
     pub layout: Layout,
-    /// Keep only the newest `k` checkpoints when set.
+    /// Keep only the newest `k` checkpoints when set. Retention is
+    /// chain-aware: a base (or intermediate delta) is never deleted while
+    /// a retained delta still restores through it.
     pub keep: Option<usize>,
+    /// When set, publish base+delta chains (see [`scrutiny_ckpt::delta`]):
+    /// the first epoch after `open` is a full base, later epochs store
+    /// only the dirty pages of the serialized (AD-pruned) data file, and
+    /// the chain rebases to a fresh full checkpoint every
+    /// `rebase_every` deltas. Page diffing runs in the worker pool — the
+    /// compute thread still pays only the staging memcpy. Bases are
+    /// published monolithically; `layout` is ignored in delta mode.
+    pub delta: Option<DeltaPolicy>,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +82,7 @@ impl Default for EngineConfig {
             target_shards: workers,
             layout: Layout::Monolithic,
             keep: None,
+            delta: None,
         }
     }
 }
@@ -129,6 +141,62 @@ struct ResultsState {
     next_id: u64,
 }
 
+/// Delta-chain bookkeeping (present only when `cfg.delta` is set).
+///
+/// Deltas are diffs against the *previous published epoch*, so publishes
+/// must happen in version order even though shard serialization is
+/// concurrent. `turn` is a version-ordered turnstile: a finisher waits
+/// until every older version has **resolved** (published or failed), so a
+/// failed epoch never wedges the chain — the next delta simply patches
+/// the last image that actually reached the backend.
+struct Chain {
+    state: Mutex<ChainState>,
+    cv: Condvar,
+}
+
+struct ChainState {
+    /// Every version below this has resolved.
+    turn: u64,
+    /// Resolved versions at or above `turn` (out-of-order failures).
+    resolved: BTreeSet<u64>,
+    /// Last successfully published data-file image and its version — the
+    /// parent of the next delta.
+    prev: Option<(u64, Vec<u8>)>,
+    /// Consecutive delta epochs since the last full base.
+    deltas_since_base: usize,
+}
+
+impl Chain {
+    fn new(turn: u64) -> Self {
+        Chain {
+            state: Mutex::new(ChainState {
+                turn,
+                resolved: BTreeSet::new(),
+                prev: None,
+                deltas_since_base: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark `version` resolved and advance the turnstile past every
+    /// consecutively resolved version. Called from `Shared::resolve` —
+    /// the one point every submission passes exactly once.
+    fn mark_resolved(&self, version: u64) {
+        let mut s = self.state.lock().unwrap();
+        s.resolved.insert(version);
+        loop {
+            let turn = s.turn;
+            if !s.resolved.remove(&turn) {
+                break;
+            }
+            s.turn += 1;
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
 struct Shared {
     backend: Arc<dyn StorageBackend>,
     cfg: EngineConfig,
@@ -141,6 +209,13 @@ struct Shared {
     results_cv: Condvar,
     gate: StagingGate,
     next_version: AtomicU64,
+    /// Held across version allocation *and* task enqueueing so queue
+    /// order always matches version order — the delta turnstile relies
+    /// on it (see [`EngineHandle::enqueue`]). Serializes submitters only;
+    /// workers never take it.
+    submit_order: Mutex<()>,
+    /// Delta-chain turnstile and parent image; `None` unless `cfg.delta`.
+    chain: Option<Chain>,
 }
 
 impl Shared {
@@ -159,6 +234,9 @@ impl Shared {
             r.pending -= 1;
         }
         self.results_cv.notify_all();
+        if let Some(chain) = &self.chain {
+            chain.mark_resolved(sub.version);
+        }
         self.gate.release();
     }
 }
@@ -192,8 +270,12 @@ impl EngineHandle {
                 "retention must keep at least one checkpoint".into(),
             ));
         }
+        if let Some(delta) = &cfg.delta {
+            delta.validate()?;
+        }
         let next_version = list_versions(backend.as_ref())?.last().map_or(0, |v| v + 1);
         let shared = Arc::new(Shared {
+            chain: cfg.delta.as_ref().map(|_| Chain::new(next_version)),
             cfg: cfg.clone(),
             backend,
             queue: Mutex::new(QueueState {
@@ -211,6 +293,7 @@ impl EngineHandle {
             results_cv: Condvar::new(),
             gate: StagingGate::new(cfg.max_staged),
             next_version: AtomicU64::new(next_version),
+            submit_order: Mutex::new(()),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -258,6 +341,16 @@ impl EngineHandle {
             }
         };
         let nshards = plan.shard_count();
+        // Version allocation and task enqueueing must be one atomic step
+        // with respect to other submitters: if submitter B could push its
+        // tasks before submitter A with the older version, a delta-mode
+        // finisher for B would park in the turnstile waiting for A while
+        // A's tasks sit behind B's in the queue — with few workers (or a
+        // full queue) nothing would ever run them. `submit_order` is held
+        // across both, so queue order always equals version order.
+        // Backpressure waits happen while holding it; workers free queue
+        // space without ever taking it, so the wait always makes progress.
+        let _order = self.shared.submit_order.lock().unwrap();
         let (id, version) = {
             let mut r = self.shared.results.lock().unwrap();
             let id = r.next_id;
@@ -409,6 +502,11 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
     }
     let (sealed, manifest) = seal_shards(shards);
     let (aux, pair_bytes) = serialize_aux(&sub.snapshot.vars, &sub.snapshot.plans);
+
+    if shared.chain.is_some() {
+        return finish_delta(shared, sub, sealed, aux, pair_bytes, payload_bytes);
+    }
+
     let data_len: usize = sealed.iter().map(Vec::len).sum();
     let breakdown = StorageBreakdown {
         payload_bytes,
@@ -439,21 +537,90 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
         }
     }
 
-    // The checkpoint is durably committed at this point, so retention is
-    // best-effort: a transient sweep failure must not resolve the ticket
-    // as Err (a caller would resubmit a checkpoint that exists). A
-    // version the sweep misses is retried by the next submission's sweep.
+    apply_retention(shared);
+    shared.resolve(sub, Ok(breakdown));
+    Ok(())
+}
+
+/// The checkpoint is durably committed when this runs, so retention is
+/// best-effort: a transient sweep failure must not resolve the ticket as
+/// Err (a caller would resubmit a checkpoint that exists). A version the
+/// sweep misses is retried by the next submission's sweep. The sweep is
+/// chain-aware: it keeps every ancestor a retained delta restores through.
+fn apply_retention(shared: &Shared) {
     if let Some(keep) = shared.cfg.keep {
-        if let Ok(versions) = list_versions(backend) {
-            if versions.len() > keep {
-                for &old in &versions[..versions.len() - keep] {
-                    let _ = delete_version(backend, old);
-                }
-            }
-        }
+        let _ = prune_chain_aware(shared.backend.as_ref(), keep);
+    }
+}
+
+/// Publish one epoch of a delta chain. Serialization already happened in
+/// parallel (the sealed shards); this worker assembles the full image,
+/// waits for its turn in version order, then either diffs against the
+/// previous epoch's image (delta) or publishes the image whole (base —
+/// the first epoch, or a rebase after `rebase_every` deltas).
+fn finish_delta(
+    shared: &Shared,
+    sub: &Submission,
+    sealed: Vec<Vec<u8>>,
+    aux: Vec<u8>,
+    pair_bytes: usize,
+    payload_bytes: usize,
+) -> Result<(), EngineError> {
+    let chain = shared.chain.as_ref().expect("delta mode");
+    let policy = shared.cfg.delta.as_ref().expect("delta mode");
+    let v = sub.version;
+
+    // Assemble before taking the turnstile: pure CPU work that can
+    // overlap other epochs' publishes.
+    let data_len: usize = sealed.iter().map(Vec::len).sum();
+    let mut image = Vec::with_capacity(data_len);
+    for s in &sealed {
+        image.extend_from_slice(s);
     }
 
-    shared.resolve(sub, Ok(breakdown));
+    // Wait for every older version to resolve; while we hold the turn
+    // (turn == v, and only `resolve` advances it) no other finisher can
+    // touch the chain, so the lock itself is dropped during I/O.
+    let (prev, deltas_since_base) = {
+        let mut s = chain.state.lock().unwrap();
+        while s.turn < v {
+            s = chain.cv.wait(s).unwrap();
+        }
+        (s.prev.take(), s.deltas_since_base)
+    };
+
+    let backend = shared.backend.as_ref();
+    // The base-vs-delta decision, write order, and accounting are the
+    // store's exact `publish_epoch` — the two writers cannot drift.
+    let result = publish_epoch(
+        v,
+        policy,
+        prev.as_ref(),
+        deltas_since_base,
+        &image,
+        payload_bytes,
+        &aux,
+        pair_bytes,
+        |name, bytes| backend.put(name, bytes),
+    );
+
+    let mut s = chain.state.lock().unwrap();
+    match result {
+        Ok((breakdown, new_deltas_since_base)) => {
+            s.prev = Some((v, image));
+            s.deltas_since_base = new_deltas_since_base;
+            drop(s);
+            apply_retention(shared);
+            shared.resolve(sub, Ok(breakdown));
+        }
+        Err(e) => {
+            // This epoch never reached the backend: the chain's parent is
+            // still the previous image; the next epoch patches that.
+            s.prev = prev;
+            drop(s);
+            shared.resolve(sub, Err(e.into()));
+        }
+    }
     Ok(())
 }
 
@@ -627,6 +794,188 @@ mod tests {
             assert!(matches!(
                 EngineHandle::open(mem.clone(), cfg),
                 Err(EngineError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn delta_mode_publishes_base_deltas_and_rebases_bit_identically() {
+        let mem = Arc::new(MemBackend::new());
+        let cfg = EngineConfig {
+            workers: 3,
+            target_shards: 3,
+            delta: Some(DeltaPolicy {
+                page_bytes: 256,
+                rebase_every: 2,
+            }),
+            ..Default::default()
+        };
+        let eng = EngineHandle::open(mem.clone(), cfg).unwrap();
+        let (mut vars, plans) = sample(400, 1.0);
+        let mut totals = Vec::new();
+        for epoch in 0..5u64 {
+            if let VarData::F64(v) = &mut vars[0].data {
+                v[7] = epoch as f64 * 3.5; // localized update
+            }
+            let t = eng.submit(&vars, &plans).unwrap();
+            let v = t.version();
+            let bd = eng.wait(t).unwrap();
+            totals.push(bd.total());
+            // Whatever the layout on disk, the reconstructed image is
+            // bit-identical to a blocking monolithic save of this epoch.
+            let (data, aux) = read_version(mem.as_ref(), v).unwrap();
+            let blocking = serialize(&vars, &plans).unwrap();
+            assert_eq!(data, blocking.data, "epoch {epoch}");
+            assert_eq!(aux, blocking.aux, "epoch {epoch}");
+        }
+        // rebase_every = 2 → 0 base, 1-2 deltas, 3 rebase, 4 delta.
+        let names_held = mem.list().unwrap();
+        for (v, is_delta) in [(0, false), (1, true), (2, true), (3, false), (4, true)] {
+            assert_eq!(
+                names_held.iter().any(|n| n == &names::delta(v)),
+                is_delta,
+                "version {v} delta object"
+            );
+            assert_eq!(
+                names_held.iter().any(|n| n == &names::data(v)),
+                !is_delta,
+                "version {v} data object"
+            );
+        }
+        // Delta epochs write far fewer bytes than the base (the pruned
+        // aux file is rewritten every epoch and dominates the delta's
+        // total here, so the bar is 2×, not 10×).
+        assert!(
+            totals[1] < totals[0] / 2,
+            "delta {} vs base {}",
+            totals[1],
+            totals[0]
+        );
+        assert!(totals[4] < totals[3] / 2);
+    }
+
+    #[test]
+    fn delta_chain_survives_a_failed_epoch() {
+        /// Fails every put of version 1; everything else goes to memory.
+        struct FailV1(MemBackend);
+        impl StorageBackend for FailV1 {
+            fn put(&self, name: &str, bytes: &[u8]) -> Result<(), scrutiny_ckpt::CkptError> {
+                if names::committed_version(name) == Some(1)
+                    || matches!(
+                        names::classify(name),
+                        scrutiny_ckpt::names::CkptName::Aux(1)
+                    )
+                {
+                    return Err(scrutiny_ckpt::CkptError::Corrupt("epoch 1 lost".into()));
+                }
+                self.0.put(name, bytes)
+            }
+            fn get(&self, name: &str) -> Result<Vec<u8>, scrutiny_ckpt::CkptError> {
+                self.0.get(name)
+            }
+            fn list(&self) -> Result<Vec<String>, scrutiny_ckpt::CkptError> {
+                self.0.list()
+            }
+            fn delete(&self, name: &str) -> Result<(), scrutiny_ckpt::CkptError> {
+                self.0.delete(name)
+            }
+            fn label(&self) -> String {
+                "fail-v1".into()
+            }
+        }
+        let backend = Arc::new(FailV1(MemBackend::new()));
+        let cfg = EngineConfig {
+            workers: 2,
+            delta: Some(DeltaPolicy {
+                page_bytes: 256,
+                rebase_every: 10,
+            }),
+            ..Default::default()
+        };
+        let eng = EngineHandle::open(backend.clone(), cfg).unwrap();
+        let (mut vars, plans) = sample(300, 2.0);
+        let mut wanted = Vec::new();
+        let mut results = Vec::new();
+        for epoch in 0..3u64 {
+            if let VarData::F64(v) = &mut vars[0].data {
+                v[0] = epoch as f64 + 0.25;
+            }
+            let t = eng.submit(&vars, &plans).unwrap();
+            wanted.push(serialize(&vars, &plans).unwrap().data);
+            results.push(eng.wait(t));
+        }
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "epoch 1's failure must surface");
+        assert!(results[2].is_ok(), "the chain continues past a failure");
+        // Epoch 2's delta patches epoch 0 (the last image that landed),
+        // and still reconstructs epoch 2's state bit-identically.
+        let (data, _) = read_version(backend.as_ref(), 2).unwrap();
+        assert_eq!(data, wanted[2]);
+        assert!(read_version(backend.as_ref(), 1).is_err());
+    }
+
+    #[test]
+    fn delta_mode_retention_is_chain_aware() {
+        let mem = Arc::new(MemBackend::new());
+        let cfg = EngineConfig {
+            workers: 2,
+            keep: Some(2),
+            delta: Some(DeltaPolicy {
+                page_bytes: 256,
+                rebase_every: 3,
+            }),
+            ..Default::default()
+        };
+        let eng = EngineHandle::open(mem.clone(), cfg).unwrap();
+        let (mut vars, plans) = sample(300, 1.0);
+        for epoch in 0..4u64 {
+            if let VarData::F64(v) = &mut vars[0].data {
+                v[1] = epoch as f64;
+            }
+            let t = eng.submit(&vars, &plans).unwrap();
+            eng.wait(t).unwrap();
+        }
+        // 0 base, 1..=3 deltas: keep=2 would naively leave {2, 3}, but
+        // they restore through 1 and 0 — everything must survive.
+        assert_eq!(list_versions(mem.as_ref()).unwrap(), vec![0, 1, 2, 3]);
+        assert!(read_version(mem.as_ref(), 3).is_ok());
+
+        // 4 rebases (full), 5 is a delta on 4: the old chain may go.
+        for epoch in 4..6u64 {
+            if let VarData::F64(v) = &mut vars[0].data {
+                v[1] = epoch as f64;
+            }
+            let t = eng.submit(&vars, &plans).unwrap();
+            eng.wait(t).unwrap();
+        }
+        assert_eq!(list_versions(mem.as_ref()).unwrap(), vec![4, 5]);
+        assert!(read_version(mem.as_ref(), 5).is_ok());
+    }
+
+    #[test]
+    fn invalid_delta_policy_rejected() {
+        let mem: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        for delta in [
+            DeltaPolicy {
+                page_bytes: 0,
+                rebase_every: 4,
+            },
+            DeltaPolicy {
+                page_bytes: 4096,
+                rebase_every: 0,
+            },
+        ] {
+            assert!(matches!(
+                EngineHandle::open(
+                    mem.clone(),
+                    EngineConfig {
+                        delta: Some(delta),
+                        ..Default::default()
+                    }
+                ),
+                Err(EngineError::Ckpt(scrutiny_ckpt::CkptError::InvalidConfig(
+                    _
+                )))
             ));
         }
     }

@@ -25,6 +25,12 @@
 //! * [`EngineHandle`] — `submit(vars, plans) -> Ticket`,
 //!   `wait(ticket) -> StorageBreakdown`, `drain()`, with worker
 //!   failures (including panics) propagated to the caller.
+//! * delta mode ([`EngineConfig::delta`]) — epochs publish as base+delta
+//!   chains ([`scrutiny_ckpt::delta`]): only the dirty pages of the
+//!   AD-pruned serialized state are written after the base, with
+//!   periodic rebases and chain-aware retention, so temporal and
+//!   semantic redundancy removal compose. Page diffing happens in the
+//!   worker pool, ordered by a version turnstile.
 //!
 //! ```
 //! use scrutiny_engine::{EngineConfig, EngineHandle, MemBackend};
@@ -48,8 +54,12 @@ pub mod error;
 pub mod snapshot;
 
 pub use backend::{
-    list_versions, read_version, DirBackend, MemBackend, ShardedBackend, StorageBackend,
+    list_versions, prune_chain_aware, read_version, DirBackend, MemBackend, ShardedBackend,
+    StorageBackend,
 };
 pub use engine::{EngineConfig, EngineHandle, Layout, Ticket};
 pub use error::EngineError;
 pub use snapshot::Snapshot;
+// Re-export the delta-chain policy so delta-mode engines configure from
+// one crate.
+pub use scrutiny_ckpt::delta::DeltaPolicy;

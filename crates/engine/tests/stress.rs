@@ -51,7 +51,7 @@ fn stress_every_ticket_resolves_and_bytes_match_blocking_save() {
         max_staged: 2,
         target_shards: 4,
         layout: Layout::Monolithic,
-        keep: None,
+        ..Default::default()
     };
     let engine = EngineHandle::open(mem.clone(), cfg).unwrap();
 
@@ -149,6 +149,48 @@ fn stress_sharded_layout_on_striped_dirs_roundtrips_through_the_reader() {
         }
     }
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stress_delta_mode_with_concurrent_submitters_and_one_worker() {
+    // Delta mode publishes in version order behind a turnstile, which is
+    // only safe because `submit` holds the engine's submit-order lock
+    // across version allocation *and* task enqueueing. With concurrent
+    // submitters and a single worker, any version/queue-order inversion
+    // would park the worker forever on an earlier version whose tasks
+    // nothing can run — this test deadlocks (and times out) if that
+    // ordering ever breaks.
+    use scrutiny_ckpt::DeltaPolicy;
+    let mem = Arc::new(MemBackend::new());
+    let cfg = EngineConfig {
+        workers: 1,
+        queue_depth: 2,
+        max_staged: 4,
+        target_shards: 2,
+        delta: Some(DeltaPolicy {
+            page_bytes: 256,
+            rebase_every: 5,
+        }),
+        ..Default::default()
+    };
+    let engine = EngineHandle::open(mem.clone(), cfg).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let engine = &engine;
+            scope.spawn(move || {
+                for k in 0..6 {
+                    let (vars, plans) = snapshot_for(t * 10 + k);
+                    let ticket = engine.submit(&vars, &plans).unwrap();
+                    engine.wait(ticket).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(engine.pending(), 0);
+    // Every version still reconstructs through the chain reader.
+    for v in scrutiny_engine::list_versions(mem.as_ref()).unwrap() {
+        read_version(mem.as_ref(), v).unwrap();
+    }
 }
 
 #[test]

@@ -35,7 +35,10 @@ pub use ft::Ft;
 pub use is::Is;
 pub use lu::Lu;
 pub use mg::Mg;
-pub use pipeline::{burn_in, burn_in_suite, burn_in_suite_mini, BurnInReport};
+pub use pipeline::{
+    burn_in, burn_in_delta, burn_in_suite, burn_in_suite_mini, perturb_localized, BurnInReport,
+    DeltaBurnInReport,
+};
 pub use sp::Sp;
 
 use scrutiny_core::ScrutinyApp;

@@ -11,9 +11,10 @@
 //! newest engine-written checkpoint.
 
 use crate::{Cg, Ft};
+use scrutiny_core::restart::capture_state;
 use scrutiny_core::{
     checkpoint_restart_cycle_async, submit_checkpoint, AnalysisReport, EngineError, EngineHandle,
-    Policy, RestartConfig, ScrutinyApp,
+    Policy, RestartConfig, ScrutinyApp, VarData, VarRecord,
 };
 
 /// Outcome of one [`burn_in`] run.
@@ -41,7 +42,11 @@ pub fn burn_in(
     epochs: usize,
     policy: Policy,
 ) -> Result<BurnInReport, EngineError> {
-    assert!(epochs >= 1, "burn-in needs at least one epoch");
+    if epochs == 0 {
+        return Err(EngineError::InvalidConfig(
+            "a burn-in needs at least one epoch".into(),
+        ));
+    }
     let mut tickets = Vec::with_capacity(epochs);
     for _ in 0..epochs {
         // submit returns as soon as the snapshot is staged; the next
@@ -67,6 +72,106 @@ pub fn burn_in(
     })
 }
 
+/// Outcome of one [`burn_in_delta`] run.
+#[derive(Clone, Debug)]
+pub struct DeltaBurnInReport {
+    /// Benchmark name (from its spec).
+    pub app: String,
+    /// Epochs submitted (base + deltas + rebases) — all resolved.
+    pub epochs: usize,
+    /// Bytes written by the first (base) epoch.
+    pub base_bytes: usize,
+    /// Bytes written by each epoch in order (index 0 is the base; rebase
+    /// epochs show up as full-sized entries between runs of small
+    /// deltas).
+    pub epoch_bytes: Vec<usize>,
+    /// Total bytes written across all epochs.
+    pub total_bytes: usize,
+    /// Did a restart from the newest engine-written checkpoint reproduce
+    /// the golden output within the app's tolerance?
+    pub verified: bool,
+    /// Relative error of that restart.
+    pub rel_err: f64,
+}
+
+/// Apply a small localized update to every variable, the slowly-changing
+/// long-loop state delta checkpoints exist for: each epoch perturbs a
+/// different 1/16th window of each array (deterministically by epoch), so
+/// most pages of the serialized state survive unchanged between epochs.
+pub fn perturb_localized(vars: &mut [VarRecord], epoch: usize) {
+    for var in vars.iter_mut() {
+        let n = var.data.len();
+        if n == 0 {
+            continue;
+        }
+        let window = (n / 16).max(1);
+        let start = (epoch * window) % n;
+        let end = (start + window).min(n);
+        match &mut var.data {
+            VarData::F64(v) => {
+                for x in &mut v[start..end] {
+                    *x += 1e-3;
+                }
+            }
+            VarData::C128(v) => {
+                for (re, _) in &mut v[start..end] {
+                    *re += 1e-3;
+                }
+            }
+            VarData::I64(v) => {
+                for x in &mut v[start..end] {
+                    *x = x.wrapping_add(1);
+                }
+            }
+        }
+    }
+}
+
+/// Multi-epoch burn-in against a **delta-enabled** engine (one opened
+/// with [`scrutiny_core::EngineConfig::delta`] set): epoch 0 publishes a
+/// full base, later epochs perturb a localized window of every variable
+/// ([`perturb_localized`]) and publish only the dirty pages — crossing a
+/// rebase whenever the configured chain length is reached — and the run
+/// ends with a restart-verification from the newest engine-written
+/// checkpoint, which restores base → deltas through the standard reader.
+pub fn burn_in_delta(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    engine: &EngineHandle,
+    epochs: usize,
+    policy: Policy,
+) -> Result<DeltaBurnInReport, EngineError> {
+    if epochs < 2 {
+        return Err(EngineError::InvalidConfig(
+            "a delta burn-in needs a base epoch and at least one delta epoch".into(),
+        ));
+    }
+    let mut vars = capture_state(app);
+    let plans = scrutiny_core::plan::plans_for(analysis, policy);
+    let mut bytes = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            perturb_localized(&mut vars, epoch);
+        }
+        let ticket = engine.submit(&vars, &plans)?;
+        bytes.push(engine.wait(ticket)?.total());
+    }
+    let cfg = RestartConfig {
+        policy,
+        ..Default::default()
+    };
+    let report = checkpoint_restart_cycle_async(app, analysis, &cfg, engine)?;
+    Ok(DeltaBurnInReport {
+        app: app.spec().name,
+        epochs,
+        base_bytes: bytes[0],
+        total_bytes: bytes.iter().sum(),
+        epoch_bytes: bytes,
+        verified: report.verified,
+        rel_err: report.rel_err,
+    })
+}
+
 /// The two benchmarks wired into the engine burn-in by default: CG (the
 /// classic pruned float vector + integer control state) and FT (the large
 /// complex-typed state that exercises sharded serialization hardest).
@@ -84,6 +189,45 @@ mod tests {
     use super::*;
     use scrutiny_core::{scrutinize, EngineConfig, EngineHandle, MemBackend};
     use std::sync::Arc;
+
+    #[test]
+    fn delta_burn_in_cg_and_ft_base_to_delta_to_rebase() {
+        use scrutiny_core::DeltaPolicy;
+        for app in burn_in_suite_mini() {
+            let analysis = scrutinize(app.as_ref());
+            let engine = EngineHandle::open(
+                Arc::new(MemBackend::new()),
+                EngineConfig {
+                    delta: Some(DeltaPolicy {
+                        page_bytes: 128,
+                        rebase_every: 3,
+                    }),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            // 6 epochs with rebase_every = 3: base, 3 deltas, a rebase
+            // (epoch 4), another delta — the full chain lifecycle.
+            let report =
+                burn_in_delta(app.as_ref(), &analysis, &engine, 6, Policy::PrunedValue).unwrap();
+            assert_eq!(report.epochs, 6);
+            assert!(
+                report.verified,
+                "{}: delta-chain restart failed (rel err {})",
+                report.app, report.rel_err
+            );
+            for delta_epoch in [1, 2, 3, 5] {
+                assert!(
+                    report.epoch_bytes[delta_epoch] < report.base_bytes,
+                    "{} epoch {delta_epoch}: delta ({}) must write less than the base ({})",
+                    report.app,
+                    report.epoch_bytes[delta_epoch],
+                    report.base_bytes
+                );
+            }
+            assert_eq!(engine.pending(), 0);
+        }
+    }
 
     #[test]
     fn burn_in_cg_and_ft_through_the_engine() {
