@@ -12,7 +12,7 @@ use crate::tape::{self, NONE};
 /// Reverse-mode scalar: a value plus (optionally) a node on the active tape.
 #[derive(Copy, Clone, Debug)]
 pub struct Adj {
-    idx: u32,
+    idx: u64,
     v: f64,
 }
 
@@ -46,7 +46,7 @@ impl Adj {
 
     /// The tape node index, or `None` for constants.
     #[inline]
-    pub fn index(self) -> Option<u32> {
+    pub fn index(self) -> Option<u64> {
         (self.idx != NONE).then_some(self.idx)
     }
 
@@ -284,7 +284,7 @@ mod tests {
         let xa = Adj::leaf(x);
         let y = f(xa);
         let tape = s.finish();
-        (y.value(), tape.gradient(y).wrt(xa))
+        (y.value(), tape.gradient(y).unwrap().wrt(xa))
     }
 
     fn fd1(f: impl Fn(f64) -> f64, x: f64) -> f64 {
@@ -353,7 +353,7 @@ mod tests {
         let y = x * c;
         assert!(y.is_tracked());
         let tape = s.finish();
-        assert_eq!(tape.gradient(y).wrt(x), 10.0);
+        assert_eq!(tape.gradient(y).unwrap().wrt(x), 10.0);
     }
 
     #[test]
@@ -386,7 +386,7 @@ mod tests {
         acc /= 4.0;
         let tape = s.finish();
         // acc = (3x - x) * 2 / 4 = x
-        assert_eq!(tape.gradient(acc).wrt(x), 1.0);
+        assert_eq!(tape.gradient(acc).unwrap().wrt(x), 1.0);
         assert!((acc.value() - 2.0).abs() < 1e-15);
     }
 
@@ -411,6 +411,6 @@ mod tests {
         slot = Adj::constant(1.0); // overwrite before any read
         let out = slot * 2.0;
         let tape = s.finish();
-        assert_eq!(tape.gradient(out).wrt(ckpt), 0.0);
+        assert_eq!(tape.gradient(out).unwrap().wrt(ckpt), 0.0);
     }
 }

@@ -217,7 +217,7 @@ mod tests {
         let w: Cplx<Adj> = Cplx::lit(0.6, 0.8);
         let f = (z * w).re;
         let tape = s.finish();
-        let g = tape.gradient(f);
+        let g = tape.gradient(f).unwrap();
         assert!((g.wrt(x) - 0.6).abs() < 1e-15);
         assert!((g.wrt(y) + 0.8).abs() < 1e-15);
     }

@@ -1,0 +1,49 @@
+//! Typed errors for tape recording and reverse sweeps.
+//!
+//! The seed tape `assert!`ed on overflow and on out-of-range sweep seeds,
+//! aborting whatever long NPB record was in flight. Both conditions are now
+//! ordinary values: recording past the node budget *poisons* the tape (the
+//! run keeps going, arithmetic folds to constants) and every sweep entry
+//! point reports the poisoning — or a bad seed — as an [`AdError`] that
+//! `scrutiny-core` surfaces to its callers.
+
+use std::fmt;
+
+/// Failure modes of recording onto or sweeping a [`crate::Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdError {
+    /// Recording hit the configured node budget
+    /// ([`crate::TapeConfig::node_limit`]). The tape is poisoned: nodes
+    /// past the budget were dropped, so any gradient computed from it
+    /// would silently be wrong.
+    TapeOverflow {
+        /// The node budget that was exhausted.
+        limit: u64,
+    },
+    /// A sweep was seeded at a node id that is not on the tape.
+    NodeOutOfRange {
+        /// The requested seed node.
+        node: u64,
+        /// Nodes actually recorded.
+        len: u64,
+    },
+}
+
+impl fmt::Display for AdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdError::TapeOverflow { limit } => {
+                write!(
+                    f,
+                    "tape overflow: recording exceeded the {limit}-node budget"
+                )
+            }
+            AdError::NodeOutOfRange { node, len } => {
+                write!(f, "sweep seed node {node} is not on the tape (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdError {}

@@ -8,11 +8,21 @@
 //! can be dropped from checkpoints. No mature Rust AD tool exists, so this
 //! crate implements the required machinery from scratch:
 //!
-//! * [`Tape`] — a structure-of-arrays Wengert list. Each node stores its two
-//!   parent indices and the local partial derivatives, computed at record
-//!   time (24 bytes/node). A single reverse sweep ([`Tape::gradient`])
-//!   yields the derivative of the output with respect to *every* recorded
-//!   value — exactly the all-elements sensitivity the paper needs.
+//! * [`Tape`] — a **segmented** structure-of-arrays Wengert list. Nodes
+//!   live in fixed-size arenas that are allocated once and never move (no
+//!   reallocation copy spikes mid-kernel); node ids are `u64`s with
+//!   segment-local indexing, so capacity is bounded by a configurable
+//!   budget rather than a `u32`; exhausting the budget poisons the tape
+//!   with a typed [`AdError`] instead of aborting the record. Each node
+//!   stores its two parent ids and the local partial derivatives, computed
+//!   at record time (32 bytes/node).
+//! * [`sweep`] — the reverse sweeps. [`Tape::gradient`] yields the
+//!   derivative of the output with respect to *every* recorded value —
+//!   exactly the all-elements sensitivity the paper needs — and can run
+//!   **in parallel**: segments are swept in reverse while worker threads
+//!   merge cross-segment adjoint contributions through per-segment
+//!   frontier buffers in deterministic order, so the result is
+//!   bit-identical to the serial sweep.
 //! * [`Adj`] — the recording scalar. Arithmetic on `Adj` values appends
 //!   nodes to the active thread-local tape. Values derived purely from
 //!   literals fold to constants and record nothing, which keeps
@@ -27,7 +37,8 @@
 //! * [`Tape::reachable`] — *structural* activity analysis on the same tape:
 //!   an element is structurally critical if any data-flow path connects it
 //!   to the output, even if the derivative value cancels to zero. This is
-//!   the cheaper comparator used by the ablation experiments.
+//!   the cheaper comparator used by the ablation experiments; it sweeps
+//!   per-segment bitsets through the same frontier machinery.
 //!
 //! ## Example: the paper's Figure 1 workflow
 //!
@@ -40,7 +51,7 @@
 //! let v = (x + 1.0).ln(); // v(x) = ln(x + 1)
 //! let f = u * 3.0 + v;  // f(u, v) = 3u + v
 //! let tape = session.finish();
-//! let grads = tape.gradient(f);
+//! let grads = tape.gradient(f).unwrap();
 //! let df_dx = grads.wrt(x);
 //! assert!((df_dx - (6.0 * 2.0 + 1.0 / 3.0)).abs() < 1e-12);
 //! ```
@@ -50,14 +61,20 @@
 pub mod adj;
 pub mod cplx;
 pub mod dual;
+pub mod error;
 pub mod real;
+pub mod segment;
+pub mod sweep;
 pub mod tape;
 
 pub use adj::Adj;
 pub use cplx::Cplx;
 pub use dual::Dual;
+pub use error::AdError;
 pub use real::Real;
-pub use tape::{Gradient, Tape, TapeSession, TapeStats};
+pub use segment::{DEFAULT_NODE_LIMIT, DEFAULT_SEGMENT_LEN, NODE_BYTES};
+pub use sweep::{Gradient, SweepConfig, SweepStats};
+pub use tape::{Tape, TapeConfig, TapeSession, TapeStats};
 
 /// Convenience: run `f` while a fresh tape records, then return the result
 /// together with the finished tape.
@@ -68,7 +85,10 @@ pub use tape::{Gradient, Tape, TapeSession, TapeStats};
 ///     let x = Adj::leaf(3.0);
 ///     x * x
 /// });
-/// assert_eq!(tape.gradient(y).of_node(y.index().unwrap()), 1.0);
+/// assert_eq!(
+///     tape.gradient(y).unwrap().of_node(y.index().unwrap()),
+///     1.0
+/// );
 /// ```
 pub fn record<T>(capacity: usize, f: impl FnOnce() -> T) -> (T, Tape) {
     let session = TapeSession::with_capacity(capacity);

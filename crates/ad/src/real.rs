@@ -255,7 +255,7 @@ mod tests {
         let leaf = Adj::leaf(x);
         let y = kernel(leaf);
         let tape = s.finish();
-        let da = tape.gradient(y).wrt(leaf);
+        let da = tape.gradient(y).unwrap().wrt(leaf);
         assert!(
             (dd - da).abs() < 1e-13,
             "forward {dd} vs reverse {da} disagree"

@@ -1,0 +1,203 @@
+//! Fixed-size chunked arenas backing the tape.
+//!
+//! The seed tape was one contiguous `Vec` per column. That had two scaling
+//! walls: growing past the reserved capacity copied the *entire* recording
+//! (multi-hundred-MiB `memcpy` spikes mid-kernel on NPB tapes), and node
+//! ids were `u32`, capping a tape at 2³²−1 nodes with an `assert!` behind
+//! it. Segmented storage removes both. Nodes live in fixed-size segments
+//! whose columns are allocated exactly once and never move; a node id is a
+//! `u64` that splits into `segment = id >> shift` and `offset = id & mask`
+//! (segment-local indexing), so capacity is bounded by the configured
+//! [`node budget`](crate::TapeConfig::node_limit) rather than an index
+//! type; and exhausting that budget *poisons* the store instead of
+//! aborting — the error surfaces as a typed
+//! [`AdError`](crate::AdError) at sweep time.
+//!
+//! Segments are also the unit of parallelism for the reverse sweeps in
+//! [`crate::sweep`]: each one is an independent, contiguous block of the
+//! Wengert list whose adjoint chunk can be merged and swept separately.
+
+/// Sentinel node id meaning "no parent" (constant operand or leaf).
+pub(crate) const NONE: u64 = u64::MAX;
+
+/// Default nodes per segment: 2 MiB of node storage per segment, small
+/// enough that a dozen segments exist on any interesting tape (exposing
+/// sweep parallelism) and large enough that per-segment overheads vanish.
+pub const DEFAULT_SEGMENT_LEN: usize = 1 << 16;
+
+/// Default recording budget in nodes. Far beyond what fits in memory
+/// (2⁴⁸ nodes ≈ 9 PiB); the budget exists so runaway recordings become a
+/// typed error instead of an OOM kill, and so tests can shrink it.
+pub const DEFAULT_NODE_LIMIT: u64 = 1 << 48;
+
+/// Bytes per recorded node: two `u64` parent ids + two `f64` partials.
+pub const NODE_BYTES: usize = 2 * 8 + 2 * 8;
+
+/// One fixed-capacity arena of nodes, in structure-of-arrays layout.
+///
+/// The columns are allocated at full segment capacity on construction and
+/// never reallocate: a `push` into a non-full segment is a plain append,
+/// and a full segment simply stops growing (the store opens a new one).
+pub(crate) struct Segment {
+    pub(crate) p1: Vec<u64>,
+    pub(crate) p2: Vec<u64>,
+    pub(crate) d1: Vec<f64>,
+    pub(crate) d2: Vec<f64>,
+}
+
+impl Segment {
+    fn with_capacity(seg_len: usize) -> Segment {
+        Segment {
+            p1: Vec::with_capacity(seg_len),
+            p2: Vec::with_capacity(seg_len),
+            d1: Vec::with_capacity(seg_len),
+            d2: Vec::with_capacity(seg_len),
+        }
+    }
+
+    /// Nodes recorded into this segment.
+    pub(crate) fn len(&self) -> usize {
+        self.p1.len()
+    }
+}
+
+/// The segmented node store: an append-only sequence of [`Segment`]s.
+pub(crate) struct SegmentStore {
+    segments: Vec<Segment>,
+    /// log2 of the segment length.
+    shift: u32,
+    /// `segment_len - 1`, for offset extraction.
+    mask: u64,
+    /// Total nodes recorded.
+    len: u64,
+    /// Recording budget; reaching it sets `overflowed`.
+    limit: u64,
+    /// True once a push was dropped because the budget was exhausted.
+    overflowed: bool,
+}
+
+impl SegmentStore {
+    /// Create a store with `segment_len` nodes per segment (rounded up to
+    /// a power of two in `[8, 2^31]`) and room pre-reserved in the segment
+    /// spine for `capacity` nodes. No segment memory is allocated until
+    /// the first push.
+    pub(crate) fn new(capacity: usize, segment_len: usize, limit: u64) -> SegmentStore {
+        let seg_len = segment_len.next_power_of_two().clamp(8, 1 << 31);
+        SegmentStore {
+            segments: Vec::with_capacity(capacity.div_ceil(seg_len)),
+            shift: seg_len.trailing_zeros(),
+            mask: (seg_len - 1) as u64,
+            len: 0,
+            limit: limit.min(NONE - 1),
+            overflowed: false,
+        }
+    }
+
+    /// Total nodes recorded.
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Nodes per segment.
+    pub(crate) fn segment_len(&self) -> usize {
+        (self.mask + 1) as usize
+    }
+
+    /// log2 of the segment length.
+    pub(crate) fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Offset-extraction mask (`segment_len - 1`).
+    pub(crate) fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// The recording budget.
+    pub(crate) fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// True once a node was dropped because the budget was exhausted.
+    pub(crate) fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// All segments, oldest first.
+    pub(crate) fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Heap bytes actually allocated for node storage (every opened
+    /// segment reserves its full capacity up front).
+    pub(crate) fn allocated_bytes(&self) -> usize {
+        self.segments.len() * self.segment_len() * NODE_BYTES
+    }
+
+    /// Append a node; returns its id, or [`NONE`] if the budget is
+    /// exhausted (the store is then poisoned — see
+    /// [`SegmentStore::overflowed`]).
+    #[inline]
+    pub(crate) fn push(&mut self, p1: u64, d1: f64, p2: u64, d2: f64) -> u64 {
+        if self.len >= self.limit {
+            self.overflowed = true;
+            return NONE;
+        }
+        let idx = self.len;
+        if (idx & self.mask) == 0 && (idx >> self.shift) as usize == self.segments.len() {
+            self.segments
+                .push(Segment::with_capacity(self.segment_len()));
+        }
+        let seg = self
+            .segments
+            .last_mut()
+            .expect("a segment exists after the open-on-boundary check");
+        seg.p1.push(p1);
+        seg.p2.push(p2);
+        seg.d1.push(d1);
+        seg.d2.push(d2);
+        self.len += 1;
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_len_rounds_to_power_of_two() {
+        let s = SegmentStore::new(0, 100, DEFAULT_NODE_LIMIT);
+        assert_eq!(s.segment_len(), 128);
+        let s = SegmentStore::new(0, 1, DEFAULT_NODE_LIMIT);
+        assert_eq!(s.segment_len(), 8);
+    }
+
+    #[test]
+    fn push_crosses_segment_boundaries_without_moving_data() {
+        let mut s = SegmentStore::new(0, 8, DEFAULT_NODE_LIMIT);
+        for i in 0..20u64 {
+            assert_eq!(s.push(NONE, 0.0, NONE, i as f64), i);
+        }
+        assert_eq!(s.segments().len(), 3);
+        assert_eq!(s.segments()[0].len(), 8);
+        assert_eq!(s.segments()[2].len(), 4);
+        // Column capacity is exact: no segment ever reallocates.
+        for seg in s.segments() {
+            assert_eq!(seg.d2.capacity(), 8);
+        }
+        assert_eq!(s.allocated_bytes(), 3 * 8 * NODE_BYTES);
+    }
+
+    #[test]
+    fn budget_exhaustion_poisons_instead_of_panicking() {
+        let mut s = SegmentStore::new(0, 8, 10);
+        for _ in 0..10 {
+            assert_ne!(s.push(NONE, 0.0, NONE, 0.0), NONE);
+        }
+        assert!(!s.overflowed());
+        assert_eq!(s.push(NONE, 0.0, NONE, 0.0), NONE);
+        assert!(s.overflowed());
+        assert_eq!(s.len(), 10, "dropped nodes are not counted");
+    }
+}

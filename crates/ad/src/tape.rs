@@ -1,52 +1,94 @@
-//! The Wengert list (tape) and its reverse sweeps.
+//! The Wengert list (tape) and its recording session.
 //!
-//! The tape is a flat, append-only record of every tracked arithmetic
-//! operation executed by the program between the checkpoint boundary and
-//! the output. Checkpointed elements enter as *leaves*; the reverse sweep
-//! then computes `∂output/∂leaf` for all leaves at once — the quantity the
-//! paper uses to classify elements as critical (non-zero) or uncritical
-//! (zero).
+//! The tape is an append-only record of every tracked arithmetic operation
+//! executed by the program between the checkpoint boundary and the output.
+//! Checkpointed elements enter as *leaves*; a reverse sweep (see
+//! [`crate::sweep`]) then computes `∂output/∂leaf` for all leaves at once —
+//! the quantity the paper uses to classify elements as critical (non-zero)
+//! or uncritical (zero).
+//!
+//! Storage is **segmented** ([`crate::segment`]): fixed-size arenas that
+//! never reallocate, `u64` node ids with segment-local indexing, and a
+//! typed [`AdError`] instead of a panic when the recording budget is
+//! exhausted. The segments are also the unit of parallelism for the
+//! reverse sweeps.
 
+use crate::error::AdError;
+use crate::segment::{SegmentStore, DEFAULT_NODE_LIMIT, DEFAULT_SEGMENT_LEN, NODE_BYTES};
+use crate::sweep::{self, Gradient, SweepConfig, SweepStats};
 use std::cell::RefCell;
 
-/// Sentinel parent index meaning "no parent" (constant operand or leaf).
-pub(crate) const NONE: u32 = u32::MAX;
+pub(crate) use crate::segment::NONE;
 
-/// A recorded computation graph in structure-of-arrays layout.
+/// Construction parameters for a [`Tape`].
+#[derive(Clone, Copy, Debug)]
+pub struct TapeConfig {
+    /// Nodes to pre-reserve spine room for. Segments themselves are
+    /// allocated on demand and never copied, so this is a soft hint (it
+    /// avoids growing the small segment-pointer vector), not the hard
+    /// reallocation cliff it was for the seed's contiguous tape.
+    pub capacity: usize,
+    /// Nodes per segment; rounded up to a power of two in `[8, 2^31]`.
+    /// Smaller segments expose more sweep parallelism (and are used by the
+    /// boundary tests); the default keeps per-segment overhead negligible.
+    pub segment_len: usize,
+    /// Recording budget in nodes. Exceeding it poisons the tape with
+    /// [`AdError::TapeOverflow`] instead of aborting the run.
+    pub node_limit: u64,
+}
+
+impl Default for TapeConfig {
+    fn default() -> Self {
+        TapeConfig {
+            capacity: 1024,
+            segment_len: DEFAULT_SEGMENT_LEN,
+            node_limit: DEFAULT_NODE_LIMIT,
+        }
+    }
+}
+
+/// A recorded computation graph in segmented structure-of-arrays layout.
 ///
 /// Node `i` has up to two parents `p1[i], p2[i]` with local partial
 /// derivatives `d1[i], d2[i]` (computed when the node was recorded).
-/// Leaves have no parents. 24 bytes per node; values are *not* stored
+/// Leaves have no parents. 32 bytes per node; values are *not* stored
 /// because the reverse sweep only needs partials.
-#[derive(Default)]
 pub struct Tape {
-    p1: Vec<u32>,
-    p2: Vec<u32>,
-    d1: Vec<f64>,
-    d2: Vec<f64>,
+    store: SegmentStore,
     leaves: usize,
 }
 
+impl Default for Tape {
+    fn default() -> Self {
+        Tape::with_config(TapeConfig::default())
+    }
+}
+
 impl Tape {
-    /// Create an empty tape with space reserved for `capacity` nodes.
+    /// Create an empty tape with spine room reserved for `capacity` nodes.
     pub fn with_capacity(capacity: usize) -> Self {
+        Tape::with_config(TapeConfig {
+            capacity,
+            ..TapeConfig::default()
+        })
+    }
+
+    /// Create an empty tape with explicit segmentation and budget.
+    pub fn with_config(cfg: TapeConfig) -> Self {
         Tape {
-            p1: Vec::with_capacity(capacity),
-            p2: Vec::with_capacity(capacity),
-            d1: Vec::with_capacity(capacity),
-            d2: Vec::with_capacity(capacity),
+            store: SegmentStore::new(cfg.capacity, cfg.segment_len, cfg.node_limit),
             leaves: 0,
         }
     }
 
     /// Number of recorded nodes (leaves included).
     pub fn len(&self) -> usize {
-        self.p1.len()
+        self.store.len() as usize
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.p1.is_empty()
+        self.store.len() == 0
     }
 
     /// Number of leaf (input) nodes registered on this tape.
@@ -54,71 +96,111 @@ impl Tape {
         self.leaves
     }
 
+    /// Nodes per segment (a power of two).
+    pub fn segment_len(&self) -> usize {
+        self.store.segment_len()
+    }
+
+    /// Segments currently allocated.
+    pub fn segment_count(&self) -> usize {
+        self.store.segments().len()
+    }
+
+    /// The recording budget this tape was configured with.
+    pub fn node_limit(&self) -> u64 {
+        self.store.limit()
+    }
+
+    /// True once recording was dropped because the budget was exhausted.
+    /// Every sweep on a poisoned tape fails with
+    /// [`AdError::TapeOverflow`].
+    pub fn overflowed(&self) -> bool {
+        self.store.overflowed()
+    }
+
+    pub(crate) fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
     /// Size and composition counters, for memory accounting in reports.
     pub fn stats(&self) -> TapeStats {
+        let nodes = self.len();
         TapeStats {
-            nodes: self.len(),
+            nodes,
             leaves: self.leaves,
-            bytes: self.len() * (2 * 4 + 2 * 8),
+            segments: self.segment_count(),
+            segment_len: self.segment_len(),
+            bytes: self.store.allocated_bytes(),
+            sweep_bytes: nodes * 8 + nodes.div_ceil(8),
         }
     }
 
+    /// Append a node. Returns [`NONE`] once the budget is exhausted — the
+    /// caller's `Adj` then folds to a constant and the poisoning surfaces
+    /// as a typed error at sweep time, not as an abort mid-record.
     #[inline]
-    pub(crate) fn push(&mut self, p1: u32, d1: f64, p2: u32, d2: f64) -> u32 {
-        let idx = self.p1.len();
-        assert!(idx < NONE as usize, "tape overflow: more than 2^32-1 nodes");
-        self.p1.push(p1);
-        self.p2.push(p2);
-        self.d1.push(d1);
-        self.d2.push(d2);
-        idx as u32
+    pub(crate) fn push(&mut self, p1: u64, d1: f64, p2: u64, d2: f64) -> u64 {
+        self.store.push(p1, d1, p2, d2)
     }
 
     #[inline]
-    pub(crate) fn push_leaf(&mut self) -> u32 {
-        self.leaves += 1;
-        self.push(NONE, 0.0, NONE, 0.0)
+    pub(crate) fn push_leaf(&mut self) -> u64 {
+        let idx = self.push(NONE, 0.0, NONE, 0.0);
+        if idx != NONE {
+            self.leaves += 1;
+        }
+        idx
     }
 
-    /// Reverse (adjoint) sweep: derivative of the node `output` with respect
-    /// to every node on the tape.
+    // ---- sweeps ----------------------------------------------------------
+
+    /// Reverse (adjoint) sweep: derivative of the node `output` with
+    /// respect to every node on the tape. Chooses the parallel sweep when
+    /// segments and cores allow; results are bit-identical either way.
     ///
     /// A constant output (an [`crate::Adj`] that never touched the tape)
-    /// yields an all-zero gradient: nothing influenced it.
-    pub fn gradient(&self, output: crate::Adj) -> Gradient {
-        match output.index() {
-            Some(idx) => self.gradient_of(idx),
-            None => Gradient {
-                adj: vec![0.0; self.len()],
-            },
-        }
+    /// yields an all-zero gradient: nothing influenced it. A poisoned
+    /// (overflowed) tape yields [`AdError::TapeOverflow`].
+    pub fn gradient(&self, output: crate::Adj) -> Result<Gradient, AdError> {
+        self.gradient_sweep(output, SweepConfig::default())
+            .map(|(g, _)| g)
     }
 
     /// Reverse sweep seeded at an explicit node index.
-    pub fn gradient_of(&self, output: u32) -> Gradient {
-        let out = output as usize;
-        assert!(
-            out < self.len(),
-            "output node {out} not on tape (len {})",
-            self.len()
-        );
-        let mut adj = vec![0.0f64; self.len()];
-        adj[out] = 1.0;
-        for i in (0..=out).rev() {
-            let a = adj[i];
-            if a == 0.0 {
-                continue;
-            }
-            let p1 = self.p1[i];
-            if p1 != NONE {
-                adj[p1 as usize] += a * self.d1[i];
-            }
-            let p2 = self.p2[i];
-            if p2 != NONE {
-                adj[p2 as usize] += a * self.d2[i];
+    pub fn gradient_of(&self, output: u64) -> Result<Gradient, AdError> {
+        sweep::gradient_auto(self, output, SweepConfig::default()).map(|(g, _)| g)
+    }
+
+    /// Reverse sweep with an explicit [`SweepConfig`], also reporting
+    /// [`SweepStats`] (segments visited, threads, frontier traffic).
+    pub fn gradient_sweep(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+    ) -> Result<(Gradient, SweepStats), AdError> {
+        match output.index() {
+            Some(idx) => sweep::gradient_auto(self, idx, cfg),
+            None => {
+                if self.overflowed() {
+                    return Err(AdError::TapeOverflow {
+                        limit: self.node_limit(),
+                    });
+                }
+                Ok((
+                    Gradient {
+                        adj: vec![0.0; self.len()],
+                    },
+                    sweep::constant_stats(),
+                ))
             }
         }
-        Gradient { adj }
+    }
+
+    /// Serial reverse sweep (the seed algorithm); the reference the
+    /// property suite compares the parallel sweep against.
+    pub fn gradient_serial(&self, output: crate::Adj) -> Result<Gradient, AdError> {
+        self.gradient_sweep(output, SweepConfig::serial())
+            .map(|(g, _)| g)
     }
 
     /// Structural activity sweep: marks every node from which a data-flow
@@ -129,87 +211,71 @@ impl Tape {
     /// multiplication by a tracked zero) is still structurally reachable.
     /// The paper's discussion section hopes for such an "algorithmic
     /// analysis"; the ablation benches quantify how often the two differ.
-    pub fn reachable(&self, output: crate::Adj) -> Vec<bool> {
-        match output.index() {
-            Some(idx) => self.reachable_of(idx),
-            None => vec![false; self.len()],
-        }
+    pub fn reachable(&self, output: crate::Adj) -> Result<Vec<bool>, AdError> {
+        self.reachable_sweep(output, SweepConfig::default())
+            .map(|(r, _)| r)
     }
 
     /// Structural sweep seeded at an explicit node index.
-    pub fn reachable_of(&self, output: u32) -> Vec<bool> {
-        let out = output as usize;
-        assert!(
-            out < self.len(),
-            "output node {out} not on tape (len {})",
-            self.len()
-        );
-        let mut reach = vec![false; self.len()];
-        reach[out] = true;
-        for i in (0..=out).rev() {
-            if !reach[i] {
-                continue;
-            }
-            let p1 = self.p1[i];
-            if p1 != NONE {
-                reach[p1 as usize] = true;
-            }
-            let p2 = self.p2[i];
-            if p2 != NONE {
-                reach[p2 as usize] = true;
-            }
-        }
-        reach
+    pub fn reachable_of(&self, output: u64) -> Result<Vec<bool>, AdError> {
+        sweep::reachable_auto(self, output, SweepConfig::default()).map(|(r, _)| r)
     }
-}
 
-/// Result of a reverse sweep: the adjoint of every tape node.
-pub struct Gradient {
-    adj: Vec<f64>,
-}
-
-impl Gradient {
-    /// Derivative of the output with respect to the value `x`.
-    ///
-    /// Constants have zero derivative by definition.
-    pub fn wrt(&self, x: crate::Adj) -> f64 {
-        match x.index() {
-            Some(idx) => self.adj[idx as usize],
-            None => 0.0,
+    /// Structural sweep with an explicit [`SweepConfig`] and stats.
+    pub fn reachable_sweep(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+    ) -> Result<(Vec<bool>, SweepStats), AdError> {
+        match output.index() {
+            Some(idx) => sweep::reachable_auto(self, idx, cfg),
+            None => {
+                if self.overflowed() {
+                    return Err(AdError::TapeOverflow {
+                        limit: self.node_limit(),
+                    });
+                }
+                Ok((vec![false; self.len()], sweep::constant_stats()))
+            }
         }
     }
 
-    /// Derivative of the output with respect to tape node `idx`.
-    pub fn of_node(&self, idx: u32) -> f64 {
-        self.adj[idx as usize]
-    }
-
-    /// Adjoints for a contiguous range of node ids (as produced when a
-    /// whole checkpointed array is turned into leaves).
-    pub fn of_range(&self, start: u32, len: usize) -> &[f64] {
-        &self.adj[start as usize..start as usize + len]
-    }
-
-    /// Total number of adjoints (== tape length).
-    pub fn len(&self) -> usize {
-        self.adj.len()
-    }
-
-    /// True when the sweep covered an empty tape.
-    pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+    /// Serial structural sweep (the seed algorithm).
+    pub fn reachable_serial(&self, output: crate::Adj) -> Result<Vec<bool>, AdError> {
+        self.reachable_sweep(output, SweepConfig::serial())
+            .map(|(r, _)| r)
     }
 }
 
 /// Memory/size counters for a recorded tape.
+///
+/// `bytes` is the heap actually *allocated* (every opened segment reserves
+/// its full fixed capacity), not a `len × node-size` estimate — the
+/// distinction the seed's accounting got wrong.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TapeStats {
     /// Total nodes recorded (leaves included).
     pub nodes: usize,
     /// Leaf (input) nodes.
     pub leaves: usize,
-    /// Approximate heap bytes held by the tape arrays.
+    /// Segments allocated.
+    pub segments: usize,
+    /// Nodes per segment.
+    pub segment_len: usize,
+    /// Heap bytes allocated by the tape arenas (full segment capacity,
+    /// whether or not the last segment is full).
     pub bytes: usize,
+    /// Additional transient heap a full analysis needs while sweeping:
+    /// the dense adjoint vector (8 bytes/node) plus the reachability
+    /// bitset (1 bit/node).
+    pub sweep_bytes: usize,
+}
+
+impl TapeStats {
+    /// Allocated bytes per segment.
+    pub fn bytes_per_segment(&self) -> usize {
+        self.segment_len * NODE_BYTES
+    }
 }
 
 thread_local! {
@@ -228,22 +294,31 @@ pub struct TapeSession {
 }
 
 impl TapeSession {
-    /// Start recording on this thread with a default capacity.
+    /// Start recording on this thread with the default configuration.
     pub fn new() -> Self {
-        Self::with_capacity(1024)
+        Self::with_config(TapeConfig::default())
     }
 
-    /// Start recording with `capacity` nodes pre-reserved. Large analyses
-    /// (NPB kernels) should reserve millions of nodes up front to avoid
-    /// reallocation stalls mid-kernel.
+    /// Start recording with spine room for `capacity` nodes. Thanks to
+    /// segmented storage this is a soft hint — an under-estimate no longer
+    /// triggers whole-tape reallocation copies mid-kernel.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_config(TapeConfig {
+            capacity,
+            ..TapeConfig::default()
+        })
+    }
+
+    /// Start recording with an explicit [`TapeConfig`] (segment length and
+    /// node budget included).
+    pub fn with_config(cfg: TapeConfig) -> Self {
         ACTIVE.with(|slot| {
             let mut slot = slot.borrow_mut();
             assert!(
                 slot.is_none(),
                 "a TapeSession is already active on this thread; sessions do not nest"
             );
-            *slot = Some(Tape::with_capacity(capacity));
+            *slot = Some(Tape::with_config(cfg));
         });
         TapeSession { finished: false }
     }
@@ -282,7 +357,7 @@ pub fn recording() -> bool {
 }
 
 #[inline]
-pub(crate) fn record_node(p1: u32, d1: f64, p2: u32, d2: f64) -> u32 {
+pub(crate) fn record_node(p1: u64, d1: f64, p2: u64, d2: f64) -> u64 {
     ACTIVE.with(|slot| {
         slot.borrow_mut()
             .as_mut()
@@ -292,7 +367,7 @@ pub(crate) fn record_node(p1: u32, d1: f64, p2: u32, d2: f64) -> u32 {
 }
 
 #[inline]
-pub(crate) fn record_leaf() -> u32 {
+pub(crate) fn record_leaf() -> u64 {
     ACTIVE.with(|slot| {
         slot.borrow_mut()
             .as_mut()
@@ -312,6 +387,30 @@ mod tests {
         assert_eq!(t.len(), 0);
         assert!(t.is_empty());
         assert_eq!(t.stats().bytes, 0);
+        assert_eq!(t.stats().segments, 0);
+    }
+
+    #[test]
+    fn stats_account_allocated_capacity() {
+        let s = TapeSession::with_config(TapeConfig {
+            segment_len: 8,
+            ..TapeConfig::default()
+        });
+        let x = Adj::leaf(1.0);
+        let mut y = x;
+        for _ in 0..10 {
+            y *= 2.0;
+        }
+        let tape = s.finish();
+        let stats = tape.stats();
+        assert_eq!(stats.nodes, 11);
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.segment_len, 8);
+        // Both segments are fully allocated even though the second holds
+        // only 3 nodes: bytes reports real capacity, not len × node-size.
+        assert_eq!(stats.bytes, 2 * 8 * NODE_BYTES);
+        assert_eq!(stats.bytes, 2 * stats.bytes_per_segment());
+        assert_eq!(stats.sweep_bytes, 11 * 8 + 2);
     }
 
     #[test]
@@ -341,7 +440,7 @@ mod tests {
         let x = Adj::leaf(5.0);
         let c = Adj::constant(2.0) * 3.0; // never touches the tape
         let tape = s.finish();
-        let g = tape.gradient(c);
+        let g = tape.gradient(c).unwrap();
         assert_eq!(g.wrt(x), 0.0);
     }
 
@@ -354,7 +453,55 @@ mod tests {
             y *= 2.0;
         }
         let tape = s.finish();
-        assert_eq!(tape.gradient(y).wrt(x), 1024.0);
+        assert_eq!(tape.gradient(y).unwrap().wrt(x), 1024.0);
+    }
+
+    #[test]
+    fn overflow_poisons_instead_of_aborting() {
+        let s = TapeSession::with_config(TapeConfig {
+            segment_len: 8,
+            node_limit: 6,
+            ..TapeConfig::default()
+        });
+        let x = Adj::leaf(2.0);
+        let mut y = x;
+        for _ in 0..20 {
+            y = y * 2.0 + 1.0; // blows the 6-node budget mid-loop
+        }
+        // The record keeps running (no abort); the value is still exact.
+        let expected = {
+            let mut v = 2.0f64;
+            for _ in 0..20 {
+                v = v * 2.0 + 1.0;
+            }
+            v
+        };
+        assert_eq!(y.value(), expected);
+        let tape = s.finish();
+        assert!(tape.overflowed());
+        assert_eq!(
+            tape.gradient(y).unwrap_err(),
+            AdError::TapeOverflow { limit: 6 }
+        );
+        assert_eq!(
+            tape.reachable(y).unwrap_err(),
+            AdError::TapeOverflow { limit: 6 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_seed_is_a_typed_error() {
+        let s = TapeSession::new();
+        let _x = Adj::leaf(1.0);
+        let tape = s.finish();
+        assert_eq!(
+            tape.gradient_of(5).unwrap_err(),
+            AdError::NodeOutOfRange { node: 5, len: 1 }
+        );
+        assert_eq!(
+            tape.reachable_of(5).unwrap_err(),
+            AdError::NodeOutOfRange { node: 5, len: 1 }
+        );
     }
 
     #[test]
@@ -365,8 +512,8 @@ mod tests {
         let cancel = x - x; // structurally reachable, zero derivative
         let out = cancel * y;
         let tape = s.finish();
-        let g = tape.gradient(out);
-        let r = tape.reachable(out);
+        let g = tape.gradient(out).unwrap();
+        let r = tape.reachable(out).unwrap();
         assert_eq!(g.wrt(x), 0.0, "x-x cancels exactly");
         assert!(r[x.index().unwrap() as usize], "x is structurally active");
         // y's gradient is zero too (multiplied by a zero value) but reachable.
@@ -392,7 +539,7 @@ mod tests {
         let sum = leaves.iter().fold(Adj::constant(0.0), |acc, &v| acc + v);
         let out = sum * 2.0;
         let tape = s.finish();
-        let g = tape.gradient(out);
+        let g = tape.gradient(out).unwrap();
         let start = leaves[0].index().unwrap();
         let grads = g.of_range(start, 4);
         assert_eq!(grads, &[2.0, 2.0, 2.0, 2.0]);

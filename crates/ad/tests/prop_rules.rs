@@ -14,7 +14,7 @@ fn rev_grad2(f: impl Fn(Adj, Adj) -> Adj, x: f64, y: f64) -> (f64, f64, f64) {
     let ya = Adj::leaf(y);
     let out = f(xa, ya);
     let tape = s.finish();
-    let g = tape.gradient(out);
+    let g = tape.gradient(out).unwrap();
     (out.value(), g.wrt(xa), g.wrt(ya))
 }
 
@@ -90,7 +90,7 @@ proptest! {
         }
         let out = layer[0];
         let tape = s.finish();
-        let g = tape.gradient(out);
+        let g = tape.gradient(out).unwrap();
         for &l in &leaves {
             prop_assert_eq!(g.wrt(l), 1.0);
         }
@@ -109,8 +109,8 @@ proptest! {
             _ => xa.rmax(ya),             // only one branch active
         };
         let tape = s.finish();
-        let g = tape.gradient(out);
-        let r = tape.reachable(out);
+        let g = tape.gradient(out).unwrap();
+        let r = tape.reachable(out).unwrap();
         for leaf in [xa, ya] {
             if g.wrt(leaf) != 0.0 {
                 prop_assert!(r[leaf.index().unwrap() as usize],
@@ -127,8 +127,8 @@ proptest! {
         let unused: Vec<Adj> = (0..n_unused).map(|i| Adj::leaf(-(i as f64) - 1.0)).collect();
         let out = used.iter().fold(Adj::constant(0.0), |a, &b| a + b * b);
         let tape = s.finish();
-        let g = tape.gradient(out);
-        let r = tape.reachable(out);
+        let g = tape.gradient(out).unwrap();
+        let r = tape.reachable(out).unwrap();
         for &l in &unused {
             prop_assert_eq!(g.wrt(l), 0.0);
             prop_assert!(!r[l.index().unwrap() as usize]);
@@ -149,9 +149,9 @@ proptest! {
         slot = Adj::leaf(fresh); // a later write wins
         let out = slot * slot + 1.0;
         let tape = s.finish();
-        let g = tape.gradient(out);
+        let g = tape.gradient(out).unwrap();
         prop_assert_eq!(g.wrt(ckpt), 0.0);
-        let r = tape.reachable(out);
+        let r = tape.reachable(out).unwrap();
         prop_assert!(!r[ckpt.index().unwrap() as usize]);
     }
 }

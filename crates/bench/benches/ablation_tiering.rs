@@ -20,14 +20,14 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation");
     g.bench_function("value_gradient_sweep", |b| {
-        b.iter(|| tape.gradient(out.output).len())
+        b.iter(|| tape.gradient(out.output).unwrap().len())
     });
     g.bench_function("structural_reachability_sweep", |b| {
-        b.iter(|| tape.reachable(out.output).len())
+        b.iter(|| tape.reachable(out.output).unwrap().len())
     });
     g.finish();
 
-    let analysis = scrutinize(&bt);
+    let analysis = scrutinize(&bt).unwrap();
     let captured = capture_state(&bt);
     let pruned = plans_for(&analysis, Policy::PrunedValue);
     let tiered = plans_for(&analysis, Policy::Tiered { hi_threshold: 1e-3 });

@@ -20,7 +20,7 @@ use scrutiny_npb::{perturb_localized, Cg, Ft};
 use std::sync::Arc;
 
 fn snapshot_of(app: &dyn ScrutinyApp) -> (String, Vec<VarRecord>, Vec<VarPlan>) {
-    let analysis = scrutinize(app);
+    let analysis = scrutinize(app).unwrap();
     let vars = capture_state(app);
     let plans = plans_for(&analysis, Policy::PrunedValue);
     (app.spec().name, vars, plans)

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn snapshot_of(app: &dyn ScrutinyApp) -> (String, Vec<VarRecord>, Vec<VarPlan>) {
-    let analysis = scrutinize(app);
+    let analysis = scrutinize(app).unwrap();
     let vars = capture_state(app);
     let plans = plans_for(&analysis, Policy::PrunedValue);
     (app.spec().name, vars, plans)

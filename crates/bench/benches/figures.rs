@@ -8,10 +8,10 @@ use scrutiny_viz::ascii::component_slice;
 use scrutiny_viz::{detect_planes, runlength_chart, runlength_svg, volume_montage_pgm};
 
 fn bench(c: &mut Criterion) {
-    let bt = scrutinize(&Bt::class_s());
+    let bt = scrutinize(&Bt::class_s()).unwrap();
     let (cube, dims) = component_slice(&bt.var("u").unwrap().value_map, [12, 13, 13, 5], 0);
     println!("\nFig. 3 dead planes: {:?}", detect_planes(&cube, dims));
-    let cg = scrutinize(&Cg::class_s());
+    let cg = scrutinize(&Cg::class_s()).unwrap();
     let xmap = &cg.var("x").unwrap().value_map;
     println!("Fig. 6 layout:\n{}", runlength_chart(xmap, 72));
 

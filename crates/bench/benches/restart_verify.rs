@@ -7,7 +7,7 @@ use scrutiny_npb::{Bt, Cg};
 
 fn bench(c: &mut Criterion) {
     let bt = Bt::class_s();
-    let analysis = scrutinize(&bt);
+    let analysis = scrutinize(&bt).unwrap();
     let cfg = RestartConfig {
         policy: Policy::PrunedValue,
         ..Default::default()
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| checkpoint_restart_cycle(&bt, &analysis, &cfg).unwrap())
     });
     let cg = Cg::mini();
-    let cg_analysis = scrutinize(&cg);
+    let cg_analysis = scrutinize(&cg).unwrap();
     g.bench_function("cg_mini_cycle", |b| {
         b.iter(|| checkpoint_restart_cycle(&cg, &cg_analysis, &cfg).unwrap())
     });

@@ -16,7 +16,7 @@ fn print_table2() {
     ];
     let mut rows = Vec::new();
     for app in &apps {
-        rows.extend(table2_rows(&scrutinize(app.as_ref())));
+        rows.extend(table2_rows(&scrutinize(app.as_ref()).unwrap()));
     }
     println!("\n{}", format_table2(&rows));
 }

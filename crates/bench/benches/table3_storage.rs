@@ -19,14 +19,14 @@ fn bench(c: &mut Criterion) {
     ];
     let mut rows = Vec::new();
     for app in &apps {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let captured = capture_state(app.as_ref());
         rows.push(table3_row(&analysis, &captured).expect("in-memory"));
     }
     println!("\n{}", format_table3(&rows));
 
     let bt = Bt::class_s();
-    let analysis = scrutinize(&bt);
+    let analysis = scrutinize(&bt).unwrap();
     let captured = capture_state(&bt);
     let pruned = plans_for(&analysis, Policy::PrunedValue);
     let full: Vec<VarPlan> = captured.iter().map(|_| VarPlan::Full).collect();

@@ -12,7 +12,7 @@ fn main() {
         "Variable", "total", "unc(value)", "unc(structural)", "cancel-only"
     );
     for app in ad_suite() {
-        let report = scrutinize(app.as_ref());
+        let report = scrutinize(app.as_ref()).unwrap();
         for v in &report.vars {
             if v.total() <= 1 {
                 continue;

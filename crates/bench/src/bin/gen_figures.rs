@@ -16,7 +16,7 @@ fn main() {
     fs::create_dir_all(out).expect("cannot create experiments/out");
 
     // ---- Figure 3: BT u (one of the five identical component cubes) ----
-    let bt = scrutinize(&Bt::class_s());
+    let bt = scrutinize(&Bt::class_s()).unwrap();
     let u = bt.var("u").unwrap();
     let (cube, dims) = component_slice(&u.value_map, [12, 13, 13, 5], 0);
     println!("Figure 3 — BT u[..][0], slice k=6 (# critical, . uncritical):");
@@ -30,7 +30,7 @@ fn main() {
     .unwrap();
 
     // ---- Figures 4 & 5: MG u and r run-length layouts -----------------
-    let mg = scrutinize(&Mg::class_s());
+    let mg = scrutinize(&Mg::class_s()).unwrap();
     let mg_u = mg.var("u").unwrap();
     println!("Figure 4 — MG u run-length layout:");
     print!("{}", runlength_chart(&mg_u.value_map, 72));
@@ -60,7 +60,7 @@ fn main() {
     .unwrap();
 
     // ---- Figure 6: CG x -----------------------------------------------
-    let cg = scrutinize(&Cg::class_s());
+    let cg = scrutinize(&Cg::class_s()).unwrap();
     let x = cg.var("x").unwrap();
     println!("\nFigure 6 — CG x run-length layout:");
     print!("{}", runlength_chart(&x.value_map, 72));
@@ -71,7 +71,7 @@ fn main() {
     .unwrap();
 
     // ---- Figure 7: LU u[..][4] ------------------------------------------
-    let lu = scrutinize(&Lu::class_s());
+    let lu = scrutinize(&Lu::class_s()).unwrap();
     let lu_u = lu.var("u").unwrap();
     let (cube4, dims4) = component_slice(&lu_u.value_map, [12, 13, 13, 5], 4);
     println!("\nFigure 7 — LU u[..][4], slices k=0 and k=6:");
@@ -88,7 +88,7 @@ fn main() {
     .unwrap();
 
     // ---- Figure 8: FT y --------------------------------------------------
-    let ft = scrutinize(&Ft::class_s());
+    let ft = scrutinize(&Ft::class_s()).unwrap();
     let y = ft.var("y").unwrap();
     let planes = detect_planes(&y.value_map, [64, 64, 65]);
     println!("\nFigure 8 — FT y: dead planes {planes:?} (paper: the padding layer at index 64)");

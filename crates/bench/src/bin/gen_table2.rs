@@ -14,7 +14,7 @@ fn main() {
     let mut all_match = true;
     for app in table2_suite() {
         let t0 = std::time::Instant::now();
-        let report = scrutinize(app.as_ref());
+        let report = scrutinize(app.as_ref()).unwrap();
         let secs = t0.elapsed().as_secs_f64();
         for (row, var) in table2_rows(&report).iter().zip(
             report

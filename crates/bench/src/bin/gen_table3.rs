@@ -16,7 +16,7 @@ fn main() {
     let mut max: f64 = 0.0;
     let mut n = 0usize;
     for app in table2_suite() {
-        let report = scrutinize(app.as_ref());
+        let report = scrutinize(app.as_ref()).unwrap();
         let captured = capture_state(app.as_ref());
         let row = table3_row(&report, &captured).expect("serialization cannot fail in memory");
         let paper = expected3(&row.bench);

@@ -17,7 +17,7 @@ fn main() {
         Box::new(Cg::class_s()),
     ];
     for app in &apps {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         // Thresholds from the gradient-magnitude distribution.
         let mut mags: Vec<f64> = analysis
             .vars

@@ -15,7 +15,7 @@ fn main() {
     );
     let dir = std::env::temp_dir().join(format!("scrutiny_verify_{}", std::process::id()));
     for app in ad_suite() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             fill: FillPolicy::Garbage(0xDEAD),

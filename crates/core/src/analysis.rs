@@ -1,15 +1,26 @@
-//! The scrutinizer: one AD run + one reverse sweep ⇒ per-element
-//! criticality for every checkpoint variable.
+//! The scrutinizer: one AD run + reverse sweeps ⇒ per-element criticality
+//! for every checkpoint variable.
+//!
+//! The AD pass is the method's bottleneck, so this layer drives the
+//! segmented tape's **parallel** sweeps: the value-gradient sweep and the
+//! structural-reachability sweep run concurrently on two threads, and each
+//! sweep internally merges cross-segment adjoint frontiers on worker
+//! threads (see `scrutiny_ad::sweep`). Results are bit-identical to the
+//! serial seed sweep by construction. Recording failures (tape overflow)
+//! and bad sweep seeds surface as typed [`AdError`]s instead of aborting a
+//! long NPB record.
 
 use crate::app::ScrutinyApp;
 use crate::site::LeafSite;
 use crate::spec::{AppSpec, VarSpec};
 use scrutiny_ad::tape::TapeStats;
-use scrutiny_ad::TapeSession;
+use scrutiny_ad::{AdError, SweepConfig, SweepStats, TapeConfig, TapeSession};
 use scrutiny_ckpt::{Bitmap, DType, Regions};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Criticality classification of one checkpoint variable.
+#[derive(Debug)]
 pub struct VarCriticality {
     /// The variable's spec (name, dtype, shape).
     pub spec: VarSpec,
@@ -59,6 +70,7 @@ impl VarCriticality {
 }
 
 /// Everything the analysis learned about one application.
+#[derive(Debug)]
 pub struct AnalysisReport {
     /// The application's checkpoint spec.
     pub app: AppSpec,
@@ -66,18 +78,26 @@ pub struct AnalysisReport {
     pub ckpt_iter: usize,
     /// Primal output value of the AD run.
     pub output_value: f64,
-    /// Size of the recorded tape.
+    /// Size and segmentation of the recorded tape (`bytes` is real
+    /// allocated capacity; `sweep_bytes` the transient sweep memory).
     pub tape_stats: TapeStats,
+    /// What the value-gradient sweep did: segments visited, threads used,
+    /// adjoint contributions routed through cross-segment frontiers.
+    pub sweep: SweepStats,
+    /// Same, for the structural-reachability sweep.
+    pub reach_sweep: SweepStats,
     /// Wall-clock seconds for record + sweeps.
     pub analysis_seconds: f64,
     /// Per-variable criticality, in spec order.
     pub vars: Vec<VarCriticality>,
+    /// Variable index by name, so [`AnalysisReport::var`] is O(1).
+    by_name: HashMap<String, usize>,
 }
 
 impl AnalysisReport {
     /// Look up one variable's criticality by name.
     pub fn var(&self, name: &str) -> Option<&VarCriticality> {
-        self.vars.iter().find(|v| v.spec.name == name)
+        self.by_name.get(name).map(|&i| &self.vars[i])
     }
 
     /// Aggregate uncritical elements across all variables.
@@ -91,21 +111,73 @@ impl AnalysisReport {
     }
 }
 
+/// Tuning knobs for [`scrutinize_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScrutinyOptions {
+    /// Tape-node capacity hint; `None` uses the app's own
+    /// [`ScrutinyApp::tape_capacity_hint`].
+    pub capacity: Option<usize>,
+    /// Tape segment length (power of two). Smaller segments expose more
+    /// sweep parallelism; the default suits the NPB kernels.
+    pub segment_len: usize,
+    /// Threads per reverse sweep (`0` = one per available core, `1` =
+    /// serial). The two sweeps additionally run concurrently with each
+    /// other.
+    pub threads: usize,
+    /// Recording budget in tape nodes; exceeding it yields
+    /// [`AdError::TapeOverflow`].
+    pub node_limit: u64,
+}
+
+impl Default for ScrutinyOptions {
+    fn default() -> Self {
+        let tape = TapeConfig::default();
+        ScrutinyOptions {
+            capacity: None,
+            segment_len: tape.segment_len,
+            threads: 0,
+            node_limit: tape.node_limit,
+        }
+    }
+}
+
 /// Scrutinize every element of every checkpoint variable of `app`.
 ///
 /// Runs the application once under AD with leaves injected at the
 /// checkpoint boundary, then performs the reverse value sweep and the
-/// structural sweep. See the crate docs for the method.
-pub fn scrutinize(app: &dyn ScrutinyApp) -> AnalysisReport {
-    scrutinize_with_capacity(app, app.tape_capacity_hint())
+/// structural sweep (concurrently, each possibly parallel internally).
+/// See the crate docs for the method.
+pub fn scrutinize(app: &dyn ScrutinyApp) -> Result<AnalysisReport, AdError> {
+    scrutinize_with(app, &ScrutinyOptions::default())
 }
 
 /// [`scrutinize`] with an explicit tape capacity (nodes).
-pub fn scrutinize_with_capacity(app: &dyn ScrutinyApp, capacity: usize) -> AnalysisReport {
+pub fn scrutinize_with_capacity(
+    app: &dyn ScrutinyApp,
+    capacity: usize,
+) -> Result<AnalysisReport, AdError> {
+    scrutinize_with(
+        app,
+        &ScrutinyOptions {
+            capacity: Some(capacity),
+            ..ScrutinyOptions::default()
+        },
+    )
+}
+
+/// [`scrutinize`] with full control over segmentation and sweep threads.
+pub fn scrutinize_with(
+    app: &dyn ScrutinyApp,
+    opts: &ScrutinyOptions,
+) -> Result<AnalysisReport, AdError> {
     let spec = app.spec();
     let t0 = Instant::now();
 
-    let session = TapeSession::with_capacity(capacity);
+    let session = TapeSession::with_config(TapeConfig {
+        capacity: opts.capacity.unwrap_or_else(|| app.tape_capacity_hint()),
+        segment_len: opts.segment_len,
+        node_limit: opts.node_limit,
+    });
     let mut site = LeafSite::new();
     let outcome = app.run_ad(&mut site);
     let tape = session.finish();
@@ -120,8 +192,18 @@ pub fn scrutinize_with_capacity(app: &dyn ScrutinyApp, capacity: usize) -> Analy
         spec.vars.len()
     );
 
-    let grads = tape.gradient(outcome.output);
-    let reach = tape.reachable(outcome.output);
+    // The two sweeps are independent; run them concurrently. Each may
+    // additionally parallelize its own frontier merging.
+    let cfg = SweepConfig {
+        threads: opts.threads,
+    };
+    let (value_res, reach_res) = std::thread::scope(|scope| {
+        let reach = scope.spawn(|| tape.reachable_sweep(outcome.output, cfg));
+        let value = tape.gradient_sweep(outcome.output, cfg);
+        (value, reach.join().expect("structural sweep panicked"))
+    });
+    let (grads, sweep) = value_res?;
+    let (reach, reach_sweep) = reach_res?;
 
     let mut vars = Vec::with_capacity(spec.vars.len());
     for (vspec, range) in spec.vars.iter().zip(&site.ranges) {
@@ -146,7 +228,7 @@ pub fn scrutinize_with_capacity(app: &dyn ScrutinyApp, capacity: usize) -> Analy
                 let mut sm = Bitmap::new(n);
                 let mut gm = vec![0.0; n];
                 for i in 0..n {
-                    let g = grads.of_node((start + i) as u32);
+                    let g = grads.of_node((start + i) as u64);
                     gm[i] = g.abs();
                     if g != 0.0 {
                         vm.set(i, true);
@@ -163,8 +245,8 @@ pub fn scrutinize_with_capacity(app: &dyn ScrutinyApp, capacity: usize) -> Analy
                 let mut sm = Bitmap::new(n);
                 let mut gm = vec![0.0; n];
                 for i in 0..n {
-                    let gre = grads.of_node((start + 2 * i) as u32);
-                    let gim = grads.of_node((start + 2 * i + 1) as u32);
+                    let gre = grads.of_node((start + 2 * i) as u64);
+                    let gim = grads.of_node((start + 2 * i + 1) as u64);
                     gm[i] = gre.abs().max(gim.abs());
                     if gre != 0.0 || gim != 0.0 {
                         vm.set(i, true);
@@ -184,14 +266,22 @@ pub fn scrutinize_with_capacity(app: &dyn ScrutinyApp, capacity: usize) -> Analy
         });
     }
 
-    AnalysisReport {
+    let by_name = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.spec.name.clone(), i))
+        .collect();
+    Ok(AnalysisReport {
         app: spec,
         ckpt_iter,
         output_value: outcome.output.value(),
         tape_stats: tape.stats(),
+        sweep,
+        reach_sweep,
         analysis_seconds: t0.elapsed().as_secs_f64(),
         vars,
-    }
+        by_name,
+    })
 }
 
 #[cfg(test)]
@@ -202,7 +292,7 @@ mod tests {
     #[test]
     fn heat1d_criticality_matches_construction() {
         let app = Heat1d::new(16, 8, 4);
-        let report = scrutinize(&app);
+        let report = scrutinize(&app).unwrap();
         // temp: interior + both boundary cells read; the 2 tail pad cells
         // are never read.
         let temp = report.var("temp").unwrap();
@@ -216,12 +306,14 @@ mod tests {
         // step index is control state.
         let it = report.var("it").unwrap();
         assert_eq!(it.uncritical(), 0);
+        // Unknown names are None, not a panic.
+        assert!(report.var("no_such_var").is_none());
     }
 
     #[test]
     fn structural_map_is_superset() {
         let app = Heat1d::new(12, 6, 3);
-        let report = scrutinize(&app);
+        let report = scrutinize(&app).unwrap();
         for v in &report.vars {
             for i in 0..v.total() {
                 if v.value_map.get(i) {
@@ -239,13 +331,16 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let app = Heat1d::new(8, 4, 2);
-        let report = scrutinize(&app);
+        let report = scrutinize(&app).unwrap();
         assert_eq!(report.ckpt_iter, 2);
         assert_eq!(
             report.total_elems(),
             report.vars.iter().map(|v| v.total()).sum::<usize>()
         );
         assert!(report.tape_stats.nodes > 0);
+        assert!(report.tape_stats.segments > 0);
+        assert!(report.tape_stats.bytes >= report.tape_stats.nodes * scrutiny_ad::NODE_BYTES);
+        assert!(report.sweep.segments > 0);
         assert!(report.output_value.is_finite());
     }
 
@@ -253,10 +348,55 @@ mod tests {
     fn criticality_independent_of_checkpoint_position() {
         // The access pattern is iteration-invariant, so the maps must not
         // depend on where the checkpoint lands (mirrors the NPB reality).
-        let a = scrutinize(&Heat1d::new(16, 8, 2));
-        let b = scrutinize(&Heat1d::new(16, 8, 6));
+        let a = scrutinize(&Heat1d::new(16, 8, 2)).unwrap();
+        let b = scrutinize(&Heat1d::new(16, 8, 6)).unwrap();
         for (va, vb) in a.vars.iter().zip(&b.vars) {
             assert_eq!(va.value_map, vb.value_map, "map for {}", va.spec.name);
         }
+    }
+
+    #[test]
+    fn forced_segmentation_and_parallel_sweeps_match_defaults() {
+        // Drive the analysis through many tiny segments with parallel
+        // sweeps; criticality must be identical to the default path.
+        let app = Heat1d::new(16, 8, 4);
+        let base = scrutinize(&app).unwrap();
+        let seg = scrutinize_with(
+            &app,
+            &ScrutinyOptions {
+                segment_len: 64,
+                threads: 4,
+                ..ScrutinyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(seg.tape_stats.segments > 1);
+        assert!(seg.sweep.parallel);
+        assert_eq!(seg.sweep.threads, 4);
+        for (va, vb) in base.vars.iter().zip(&seg.vars) {
+            assert_eq!(va.value_map, vb.value_map);
+            assert_eq!(va.structural_map, vb.structural_map);
+            for (ga, gb) in va.grad_mag.iter().zip(&vb.grad_mag) {
+                assert_eq!(
+                    ga.to_bits(),
+                    gb.to_bits(),
+                    "gradients must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tape_overflow_is_an_error_not_an_abort() {
+        let app = Heat1d::new(16, 8, 4);
+        let err = scrutinize_with(
+            &app,
+            &ScrutinyOptions {
+                node_limit: 100,
+                ..ScrutinyOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, AdError::TapeOverflow { limit: 100 });
     }
 }

@@ -40,7 +40,7 @@
 //! let app = Heat1d::new(32, 20, 10);
 //!
 //! // One AD run + one reverse sweep classifies every checkpointed element.
-//! let analysis = scrutinize(&app);
+//! let analysis = scrutinize(&app).unwrap();
 //! assert_eq!(analysis.vars.len(), 3);
 //!
 //! // A pruned checkpoint restored with garbage in the uncritical holes
@@ -66,7 +66,10 @@ pub mod site;
 pub mod spec;
 pub mod tiny;
 
-pub use analysis::{scrutinize, scrutinize_with_capacity, AnalysisReport, VarCriticality};
+pub use analysis::{
+    scrutinize, scrutinize_with, scrutinize_with_capacity, AnalysisReport, ScrutinyOptions,
+    VarCriticality,
+};
 pub use app::{RunOutcome, ScrutinyApp};
 pub use plan::Policy;
 pub use report::{
@@ -80,7 +83,7 @@ pub use site::{CaptureSite, CkptSite, LeafSite, RestoreSite, VarRefMut};
 pub use spec::{AppSpec, VarSpec};
 
 // Re-export the scalar abstraction so applications depend on one crate.
-pub use scrutiny_ad::{Adj, Cplx, Dual, Real};
+pub use scrutiny_ad::{AdError, Adj, Cplx, Dual, Real, SweepConfig, SweepStats};
 pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};
 // Re-export the async checkpoint engine so applications wire one crate.
 pub use scrutiny_engine::{

@@ -68,7 +68,7 @@ mod tests {
     use crate::tiny::Heat1d;
 
     fn report() -> AnalysisReport {
-        scrutinize(&Heat1d::new(16, 8, 4))
+        scrutinize(&Heat1d::new(16, 8, 4)).unwrap()
     }
 
     #[test]

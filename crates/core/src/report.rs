@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn table2_rows_skip_scalars() {
         let app = Heat1d::new(16, 8, 4);
-        let report = scrutinize(&app);
+        let report = scrutinize(&app).unwrap();
         let rows = table2_rows(&report);
         assert_eq!(rows.len(), 2); // temp + workspace; `it` excluded
         assert_eq!(rows[0].label, "HEAT1D(temp)");
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn table3_row_reflects_savings() {
         let app = Heat1d::new(16, 8, 4);
-        let report = scrutinize(&app);
+        let report = scrutinize(&app).unwrap();
         let captured = capture_state(&app);
         let row = table3_row(&report, &captured).unwrap();
         assert!(row.optimized_kib < row.original_kib);

@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn clean_restart_verifies_with_garbage_fill() {
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let report = checkpoint_restart_cycle(&app, &analysis, &RestartConfig::default()).unwrap();
         assert!(report.verified, "rel err {}", report.rel_err);
         assert!(report.storage.total() < report.full_storage.total());
@@ -259,7 +259,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("scrutiny_restart_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let app = Heat1d::new(12, 8, 3);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = RestartConfig {
             store_dir: Some(dir.clone()),
             ..Default::default()
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn corrupting_uncritical_elements_is_harmless() {
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let report = restart_with_mutation(
             &app,
             &analysis,
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn corrupting_critical_elements_breaks_verification() {
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let report = restart_with_mutation(
             &app,
             &analysis,
@@ -322,7 +322,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("scrutiny_async_rs_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = RestartConfig::default();
 
         let backends: Vec<Arc<dyn StorageBackend>> = vec![
@@ -369,7 +369,7 @@ mod tests {
         use std::sync::Arc;
 
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = RestartConfig::default();
         let engine = EngineHandle::open(
             Arc::new(MemBackend::new()),
@@ -414,7 +414,7 @@ mod tests {
         use std::sync::Arc;
 
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = RestartConfig::default();
         let blocking = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
         let engine =
@@ -427,7 +427,7 @@ mod tests {
     #[test]
     fn full_policy_reproduces_exactly() {
         let app = Heat1d::new(8, 6, 2);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = RestartConfig {
             policy: Policy::Full,
             ..Default::default()
@@ -439,7 +439,7 @@ mod tests {
     #[test]
     fn tiered_policy_verifies_within_f32_tolerance() {
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = RestartConfig {
             policy: Policy::Tiered { hi_threshold: 0.9 },
             ..Default::default()

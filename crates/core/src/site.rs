@@ -105,7 +105,7 @@ impl CkptSite<f64> for CaptureSite {
 #[derive(Clone, Copy, Debug)]
 pub struct LeafRange {
     /// First tape node id of this variable's leaves.
-    pub start: u32,
+    pub start: u64,
     /// Elements in the variable.
     pub elems: usize,
     /// Tape leaves per element (1 for f64, 2 for complex, 0 for ints).
@@ -140,7 +140,10 @@ impl CkptSite<Adj> for LeafSite {
                     let mut start = None;
                     for x in s.iter_mut() {
                         let leaf = Adj::leaf(x.value());
-                        start.get_or_insert(leaf.index().expect("leaves are tracked"));
+                        // An overflowed tape drops leaves; the poisoning
+                        // surfaces as a typed AdError at sweep time, so the
+                        // placeholder start is never consumed.
+                        start.get_or_insert(leaf.index().unwrap_or(0));
                         *x = leaf;
                     }
                     LeafRange {
@@ -155,7 +158,7 @@ impl CkptSite<Adj> for LeafSite {
                     for c in s.iter_mut() {
                         let re = Adj::leaf(c.re.value());
                         let im = Adj::leaf(c.im.value());
-                        start.get_or_insert(re.index().expect("leaves are tracked"));
+                        start.get_or_insert(re.index().unwrap_or(0));
                         *c = Cplx::new(re, im);
                     }
                     LeafRange {

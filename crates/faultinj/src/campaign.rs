@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn uncritical_campaign_always_verifies() {
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = CampaignConfig {
             trials: 6,
             ..Default::default()
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn critical_campaign_always_fails() {
         let app = Heat1d::new(16, 10, 5);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = CampaignConfig {
             target: Target::Critical,
             corruption: Corruption::Poison(1e6),
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn bitflip_campaign_on_uncritical_is_harmless() {
         let app = Heat1d::new(12, 8, 4);
-        let analysis = scrutinize(&app);
+        let analysis = scrutinize(&app).unwrap();
         let cfg = CampaignConfig {
             corruption: Corruption::BitFlip { bit: 62 },
             trials: 4,

@@ -343,7 +343,7 @@ mod tests {
     #[test]
     fn criticality_matches_paper_counts() {
         let bt = Bt::mini();
-        let report = scrutinize(&bt);
+        let report = scrutinize(&bt).unwrap();
         let u = report.var("u").unwrap();
         assert_eq!(u.total(), 10_140);
         assert_eq!(u.critical(), 8_640, "critical must be 12³×5");
@@ -373,7 +373,7 @@ mod tests {
     #[test]
     fn restart_with_garbage_holes_verifies() {
         let bt = Bt::mini();
-        let analysis = scrutinize(&bt);
+        let analysis = scrutinize(&bt).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             ..Default::default()
@@ -384,8 +384,8 @@ mod tests {
 
     #[test]
     fn criticality_stable_across_checkpoint_positions() {
-        let a = scrutinize(&Bt::new(6, 2));
-        let b = scrutinize(&Bt::new(6, 5));
+        let a = scrutinize(&Bt::new(6, 2)).unwrap();
+        let b = scrutinize(&Bt::new(6, 5)).unwrap();
         assert_eq!(a.var("u").unwrap().value_map, b.var("u").unwrap().value_map);
     }
 }

@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn mini_criticality_pattern() {
         let cg = Cg::mini();
-        let report = scrutinize(&cg);
+        let report = scrutinize(&cg).unwrap();
         let x = report.var("x").unwrap();
         assert_eq!(x.total(), cg.na + 2);
         assert_eq!(
@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn restart_with_garbage_holes_verifies() {
         let cg = Cg::mini();
-        let analysis = scrutinize(&cg);
+        let analysis = scrutinize(&cg).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             fill: FillPolicy::Garbage(123),
@@ -226,8 +226,8 @@ mod tests {
 
     #[test]
     fn criticality_stable_across_checkpoint_positions() {
-        let a = scrutinize(&Cg::new(64, 3, 6, 10, 8.0, 2));
-        let b = scrutinize(&Cg::new(64, 3, 6, 10, 8.0, 5));
+        let a = scrutinize(&Cg::new(64, 3, 6, 10, 8.0, 2)).unwrap();
+        let b = scrutinize(&Cg::new(64, 3, 6, 10, 8.0, 5)).unwrap();
         assert_eq!(a.var("x").unwrap().value_map, b.var("x").unwrap().value_map);
     }
 }

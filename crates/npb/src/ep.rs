@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn all_checkpoint_elements_critical() {
         let ep = Ep::mini();
-        let report = scrutinize(&ep);
+        let report = scrutinize(&ep).unwrap();
         for var in &report.vars {
             assert_eq!(
                 var.uncritical(),
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn restart_is_bit_exact() {
         let ep = Ep::mini();
-        let analysis = scrutinize(&ep);
+        let analysis = scrutinize(&ep).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             ..Default::default()

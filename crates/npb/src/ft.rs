@@ -392,7 +392,7 @@ mod tests {
     #[test]
     fn mini_criticality_pattern() {
         let ft = Ft::mini();
-        let report = scrutinize(&ft);
+        let report = scrutinize(&ft).unwrap();
         let y = report.var("y").unwrap();
         assert_eq!(y.total(), ft.y_elems());
         // Exactly the padding plane (i = nx) is uncritical.
@@ -418,7 +418,7 @@ mod tests {
     #[test]
     fn restart_with_garbage_holes_verifies() {
         let ft = Ft::mini();
-        let analysis = scrutinize(&ft);
+        let analysis = scrutinize(&ft).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             ..Default::default()

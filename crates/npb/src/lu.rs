@@ -477,7 +477,7 @@ mod tests {
     #[test]
     fn criticality_matches_paper_counts() {
         let lu = Lu::mini();
-        let report = scrutinize(&lu);
+        let report = scrutinize(&lu).unwrap();
 
         let u = report.var("u").unwrap();
         assert_eq!(u.total(), 10_140);
@@ -514,7 +514,7 @@ mod tests {
     #[test]
     fn restart_with_garbage_holes_verifies() {
         let lu = Lu::mini();
-        let analysis = scrutinize(&lu);
+        let analysis = scrutinize(&lu).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             ..Default::default()
@@ -525,8 +525,8 @@ mod tests {
 
     #[test]
     fn criticality_stable_across_checkpoint_positions() {
-        let a = scrutinize(&Lu::new(5, 2));
-        let b = scrutinize(&Lu::new(5, 4));
+        let a = scrutinize(&Lu::new(5, 2)).unwrap();
+        let b = scrutinize(&Lu::new(5, 4)).unwrap();
         for name in ["u", "rho_i", "qs", "rsd"] {
             assert_eq!(
                 a.var(name).unwrap().value_map,

@@ -497,7 +497,7 @@ mod tests {
     #[test]
     fn mini_criticality_structure() {
         let mg = Mg::mini();
-        let report = scrutinize(&mg);
+        let report = scrutinize(&mg).unwrap();
         let nf = mg.m[mg.lt];
         let finest = nf * nf * nf;
         let u = report.var("u").unwrap();
@@ -514,7 +514,7 @@ mod tests {
     #[test]
     fn restart_with_garbage_holes_verifies() {
         let mg = Mg::mini();
-        let analysis = scrutinize(&mg);
+        let analysis = scrutinize(&mg).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             ..Default::default()

@@ -24,6 +24,11 @@ pub struct BurnInReport {
     pub app: String,
     /// Checkpoints submitted (one per epoch) — all resolved.
     pub epochs: usize,
+    /// Segments of the analysis tape the burn-in's criticality maps came
+    /// from (the record ran through the segmented tape).
+    pub tape_segments: usize,
+    /// What the analysis value sweep did (threads, frontier traffic).
+    pub sweep: scrutiny_core::SweepStats,
     /// Sum of stored payload bytes across all epochs.
     pub payload_bytes: usize,
     /// Did a restart from the newest engine-written checkpoint reproduce
@@ -66,6 +71,8 @@ pub fn burn_in(
     Ok(BurnInReport {
         app: app.spec().name,
         epochs,
+        tape_segments: analysis.tape_stats.segments,
+        sweep: analysis.sweep,
         payload_bytes,
         verified: report.verified,
         rel_err: report.rel_err,
@@ -194,7 +201,7 @@ mod tests {
     fn delta_burn_in_cg_and_ft_base_to_delta_to_rebase() {
         use scrutiny_core::DeltaPolicy;
         for app in burn_in_suite_mini() {
-            let analysis = scrutinize(app.as_ref());
+            let analysis = scrutinize(app.as_ref()).unwrap();
             let engine = EngineHandle::open(
                 Arc::new(MemBackend::new()),
                 EngineConfig {
@@ -232,18 +239,58 @@ mod tests {
     #[test]
     fn burn_in_cg_and_ft_through_the_engine() {
         for app in burn_in_suite_mini() {
-            let analysis = scrutinize(app.as_ref());
+            let analysis = scrutinize(app.as_ref()).unwrap();
             let engine =
                 EngineHandle::open(Arc::new(MemBackend::new()), EngineConfig::default()).unwrap();
             let report = burn_in(app.as_ref(), &analysis, &engine, 3, Policy::PrunedValue).unwrap();
             assert_eq!(report.epochs, 3);
             assert!(report.payload_bytes > 0);
+            assert!(report.tape_segments > 0);
             assert!(
                 report.verified,
                 "{}: engine restart failed (rel err {})",
                 report.app, report.rel_err
             );
             assert_eq!(engine.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn burn_in_with_forced_segmentation_and_parallel_sweeps() {
+        // Drive the whole analyze→burn-in→restart pipeline with the tape
+        // split into many small segments and the sweeps running parallel:
+        // results (criticality, restart verification) must be unaffected,
+        // and the report must surface the segmentation it ran with.
+        use scrutiny_core::{scrutinize_with, ScrutinyOptions};
+        for app in burn_in_suite_mini() {
+            let analysis = scrutinize_with(
+                app.as_ref(),
+                &ScrutinyOptions {
+                    segment_len: 4096,
+                    threads: 4,
+                    ..ScrutinyOptions::default()
+                },
+            )
+            .unwrap();
+            let engine =
+                EngineHandle::open(Arc::new(MemBackend::new()), EngineConfig::default()).unwrap();
+            let report = burn_in(app.as_ref(), &analysis, &engine, 2, Policy::PrunedValue).unwrap();
+            assert!(
+                report.tape_segments > 1,
+                "{}: expected a segmented tape",
+                report.app
+            );
+            assert!(
+                report.sweep.parallel,
+                "{}: expected a parallel sweep",
+                report.app
+            );
+            assert!(report.sweep.cross_contribs > 0);
+            assert!(
+                report.verified,
+                "{}: restart from segmented-analysis maps failed (rel err {})",
+                report.app, report.rel_err
+            );
         }
     }
 }

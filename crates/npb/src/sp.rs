@@ -305,8 +305,8 @@ mod tests {
     fn criticality_identical_to_bt() {
         // The paper: "the exactly same critical-uncritical distribution in
         // u as we found in u in BT".
-        let sp_map = scrutinize(&Sp::mini());
-        let bt_map = scrutinize(&crate::Bt::mini());
+        let sp_map = scrutinize(&Sp::mini()).unwrap();
+        let bt_map = scrutinize(&crate::Bt::mini()).unwrap();
         assert_eq!(
             sp_map.var("u").unwrap().value_map,
             bt_map.var("u").unwrap().value_map
@@ -317,7 +317,7 @@ mod tests {
     #[test]
     fn restart_with_garbage_holes_verifies() {
         let sp = Sp::mini();
-        let analysis = scrutinize(&sp);
+        let analysis = scrutinize(&sp).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             ..Default::default()

@@ -28,7 +28,7 @@ fn main() {
         tape.stats().nodes,
         tape.stats().leaves
     );
-    let grads = tape.gradient(f);
+    let grads = tape.gradient(f).unwrap();
     println!("reverse:  df/du = {a}, df/dv = 1");
     println!(
         "          du/dx = {}, dv/dx = {:.6}",
@@ -50,7 +50,7 @@ fn main() {
     let dropped = Adj::leaf(99.0); // written... never read again
     let out = kept * 2.0;
     let tape = session.finish();
-    let g = tape.gradient(out);
+    let g = tape.gradient(out).unwrap();
     println!(
         "\ncriticality: d out/d kept = {} (critical), d out/d dropped = {} (uncritical)",
         g.wrt(kept),

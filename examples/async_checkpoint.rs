@@ -16,7 +16,7 @@ use std::time::Instant;
 fn main() {
     let app = Cg::class_s();
     println!("scrutinizing CG class S…");
-    let analysis = scrutinize(&app);
+    let analysis = scrutinize(&app).unwrap();
     let vars = capture_state(&app);
     let plans = plans_for(&analysis, Policy::PrunedValue);
 

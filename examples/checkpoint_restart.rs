@@ -9,7 +9,7 @@ use scrutiny_npb::Bt;
 fn main() {
     let app = Bt::class_s();
     println!("scrutinizing BT class S…");
-    let analysis = scrutinize(&app);
+    let analysis = scrutinize(&app).unwrap();
 
     let dir = std::env::temp_dir().join("scrutiny_example_ckpt");
     let cfg = RestartConfig {

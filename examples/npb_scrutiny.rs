@@ -18,7 +18,7 @@ fn main() {
         "EP" => Box::new(Ep::class_s()),
         _ => Box::new(Cg::class_s()),
     };
-    let report = scrutinize(app.as_ref());
+    let report = scrutinize(app.as_ref()).unwrap();
     print!("{}", format_table2(&table2_rows(&report)));
     println!(
         "tape: {} nodes ({:.1} MB), {:.2} s",

@@ -14,7 +14,7 @@ fn main() {
     let app = Heat1d::new(32, 20, 10);
 
     // 2. Scrutinize every element: one AD run, one reverse sweep.
-    let analysis = scrutinize(&app);
+    let analysis = scrutinize(&app).unwrap();
     print!("{}", format_table2(&table2_rows(&analysis)));
     println!(
         "tape: {} nodes, {:.2} ms\n",

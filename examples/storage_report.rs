@@ -19,7 +19,7 @@ fn main() {
         Box::new(Cg::class_s()),
     ];
     for app in &apps {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let captured = capture_state(app.as_ref());
         let row = table3_row(&analysis, &captured).expect("in-memory");
 

@@ -12,7 +12,7 @@
 //! use scrutiny::core::tiny::Heat1d;
 //! use scrutiny::core::scrutinize;
 //!
-//! let analysis = scrutinize(&Heat1d::new(16, 8, 4));
+//! let analysis = scrutinize(&Heat1d::new(16, 8, 4)).unwrap();
 //! // temp is critical, the overwritten workspace is not (paper §III.A).
 //! assert!(analysis.vars[0].critical() > 0);
 //! assert_eq!(analysis.vars[1].critical(), 0);

@@ -30,7 +30,7 @@ fn perturbed_output(
 }
 
 fn check_gradients(app: &dyn ScrutinyApp, var_i: usize, indices: &[usize], tol: f64) {
-    let analysis = scrutinize(app);
+    let analysis = scrutinize(app).unwrap();
     let crit = &analysis.vars[var_i];
     for &idx in indices {
         let g = crit.grad_mag[idx];

@@ -19,7 +19,7 @@ fn tmp(tag: &str) -> std::path::PathBuf {
 fn burn_in_wired_npb_apps_verify_through_every_backend() {
     let dir = tmp("burnin");
     for app in burn_in_suite_mini() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let name = analysis.app.name.clone();
         let backends: Vec<(Arc<dyn StorageBackend>, Layout)> = vec![
             (Arc::new(MemBackend::new()), Layout::Monolithic),
@@ -64,7 +64,7 @@ fn burn_in_wired_npb_apps_verify_through_every_backend() {
 #[test]
 fn async_and_blocking_cycles_agree_on_bt() {
     let app = Bt::mini();
-    let analysis = scrutinize(&app);
+    let analysis = scrutinize(&app).unwrap();
     let cfg = RestartConfig::default();
     let blocking = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
     let engine = EngineHandle::open(Arc::new(MemBackend::new()), EngineConfig::default()).unwrap();

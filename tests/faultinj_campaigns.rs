@@ -16,7 +16,7 @@ fn apps() -> Vec<Box<dyn ScrutinyApp>> {
 #[test]
 fn uncritical_corruption_never_fails_verification() {
     for app in apps() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let report = run_campaign(
             app.as_ref(),
             &analysis,
@@ -34,7 +34,7 @@ fn uncritical_corruption_never_fails_verification() {
 #[test]
 fn critical_poison_always_fails_verification() {
     for app in apps() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let report = run_campaign(
             app.as_ref(),
             &analysis,
@@ -52,7 +52,7 @@ fn critical_poison_always_fails_verification() {
 #[test]
 fn critical_sign_flip_is_caught() {
     let app = Cg::mini();
-    let analysis = scrutinize(&app);
+    let analysis = scrutinize(&app).unwrap();
     let report = run_campaign(
         &app,
         &analysis,

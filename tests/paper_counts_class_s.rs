@@ -7,28 +7,28 @@ use scrutiny_npb::{Bt, Cg, Ft, Lu, Mg, Sp};
 
 #[test]
 fn bt_class_s_counts() {
-    let r = scrutinize(&Bt::class_s());
+    let r = scrutinize(&Bt::class_s()).unwrap();
     let u = r.var("u").unwrap();
     assert_eq!((u.uncritical(), u.total()), (1_500, 10_140));
 }
 
 #[test]
 fn sp_class_s_counts() {
-    let r = scrutinize(&Sp::class_s());
+    let r = scrutinize(&Sp::class_s()).unwrap();
     let u = r.var("u").unwrap();
     assert_eq!((u.uncritical(), u.total()), (1_500, 10_140));
 }
 
 #[test]
 fn cg_class_s_counts() {
-    let r = scrutinize(&Cg::class_s());
+    let r = scrutinize(&Cg::class_s()).unwrap();
     let x = r.var("x").unwrap();
     assert_eq!((x.uncritical(), x.total()), (2, 1_402));
 }
 
 #[test]
 fn lu_class_s_counts() {
-    let r = scrutinize(&Lu::class_s());
+    let r = scrutinize(&Lu::class_s()).unwrap();
     assert_eq!(r.var("u").unwrap().uncritical(), 1_628);
     assert_eq!(r.var("rho_i").unwrap().uncritical(), 300);
     assert_eq!(r.var("qs").unwrap().uncritical(), 300);
@@ -37,7 +37,7 @@ fn lu_class_s_counts() {
 
 #[test]
 fn mg_class_s_counts() {
-    let r = scrutinize(&Mg::class_s());
+    let r = scrutinize(&Mg::class_s()).unwrap();
     let u = r.var("u").unwrap();
     let rr = r.var("r").unwrap();
     assert_eq!((u.uncritical(), u.total()), (7_176, 46_480));
@@ -47,7 +47,7 @@ fn mg_class_s_counts() {
 #[test]
 #[ignore = "26M-node tape; run explicitly or via gen_table2"]
 fn ft_class_s_counts() {
-    let r = scrutinize(&Ft::class_s());
+    let r = scrutinize(&Ft::class_s()).unwrap();
     let y = r.var("y").unwrap();
     assert_eq!((y.uncritical(), y.total()), (4_096, 266_240));
 }

@@ -21,7 +21,7 @@ fn minis() -> Vec<Box<dyn ScrutinyApp>> {
 #[test]
 fn every_benchmark_restarts_from_pruned_checkpoint() {
     for app in minis() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedValue,
             fill: FillPolicy::Garbage(1),
@@ -39,7 +39,7 @@ fn every_benchmark_restarts_from_pruned_checkpoint() {
 #[test]
 fn structural_policy_also_restarts() {
     for app in minis() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let cfg = RestartConfig {
             policy: Policy::PrunedStructural,
             fill: FillPolicy::Sentinel(1e20),
@@ -53,7 +53,7 @@ fn structural_policy_also_restarts() {
 #[test]
 fn pruned_is_never_larger_in_payload() {
     for app in minis() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let cfg = RestartConfig::default();
         let report = checkpoint_restart_cycle(app.as_ref(), &analysis, &cfg).unwrap();
         assert!(
@@ -67,7 +67,7 @@ fn pruned_is_never_larger_in_payload() {
 #[test]
 fn uninterrupted_equals_restarted_bit_exactly_for_full_policy() {
     for app in minis() {
-        let analysis = scrutinize(app.as_ref());
+        let analysis = scrutinize(app.as_ref()).unwrap();
         let cfg = RestartConfig {
             policy: Policy::Full,
             ..Default::default()

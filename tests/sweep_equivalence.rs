@@ -1,0 +1,116 @@
+//! Acceptance test for the segmented-tape refactor: on real NPB kernel
+//! recordings (CG and FT at minimum), the parallel reverse sweeps produce
+//! **bit-identical** gradients and reachability to the serial seed sweep,
+//! and the whole-pipeline criticality maps are unchanged by segmentation.
+//!
+//! CI runs this in release next to the engine stress suite: frontier-merge
+//! ordering races would hide behind debug-mode timing otherwise.
+
+use scrutiny_ad::{Adj, SweepConfig, Tape, TapeConfig, TapeSession};
+use scrutiny_core::{scrutinize, scrutinize_with, LeafSite, ScrutinyApp, ScrutinyOptions};
+use scrutiny_npb::{Bt, Cg, Ft};
+
+/// Record one AD run of `app` through the checkpoint boundary, the way
+/// `scrutinize` does, on a tape with the given segment length.
+fn record(app: &dyn ScrutinyApp, segment_len: usize) -> (Adj, Tape) {
+    let session = TapeSession::with_config(TapeConfig {
+        capacity: app.tape_capacity_hint(),
+        segment_len,
+        ..TapeConfig::default()
+    });
+    let mut site = LeafSite::new();
+    let out = app.run_ad(&mut site);
+    (out.output, session.finish())
+}
+
+fn check_kernel(app: &dyn ScrutinyApp) {
+    let (out, tape) = record(app, 1 << 12);
+    assert!(
+        tape.segment_count() > 1,
+        "{}: tape too small to exercise segmentation",
+        app.spec().name
+    );
+    let (serial, sstats) = tape.gradient_sweep(out, SweepConfig::serial()).unwrap();
+    let (reach_serial, _) = tape.reachable_sweep(out, SweepConfig::serial()).unwrap();
+    assert!(!sstats.parallel);
+    for threads in [2usize, 4] {
+        let cfg = SweepConfig::with_threads(threads);
+        let (par, pstats) = tape.gradient_sweep(out, cfg).unwrap();
+        assert!(
+            pstats.parallel,
+            "{}: sweep did not parallelize",
+            app.spec().name
+        );
+        assert_eq!(pstats.threads, threads);
+        assert_eq!(serial.len(), par.len());
+        for i in 0..serial.len() {
+            assert_eq!(
+                serial.of_node(i as u64).to_bits(),
+                par.of_node(i as u64).to_bits(),
+                "{}: gradient of node {i} diverged with {threads} threads",
+                app.spec().name
+            );
+        }
+        let (reach_par, _) = tape.reachable_sweep(out, cfg).unwrap();
+        assert_eq!(
+            reach_serial,
+            reach_par,
+            "{}: reachability diverged with {threads} threads",
+            app.spec().name
+        );
+    }
+}
+
+#[test]
+fn cg_parallel_sweep_bit_identical_to_serial() {
+    check_kernel(&Cg::mini());
+}
+
+#[test]
+fn ft_parallel_sweep_bit_identical_to_serial() {
+    check_kernel(&Ft::mini());
+}
+
+#[test]
+fn bt_parallel_sweep_bit_identical_to_serial() {
+    check_kernel(&Bt::mini());
+}
+
+/// End-to-end: the criticality maps and gradient magnitudes the storage
+/// planner consumes are bit-identical whether the analysis ran serial on
+/// a monolithic tape or parallel on a finely segmented one.
+#[test]
+fn scrutinize_maps_unchanged_by_segmentation_cg_ft() {
+    let apps: [Box<dyn ScrutinyApp>; 2] = [Box::new(Cg::mini()), Box::new(Ft::mini())];
+    for app in apps {
+        let base = scrutinize(app.as_ref()).unwrap();
+        let seg = scrutinize_with(
+            app.as_ref(),
+            &ScrutinyOptions {
+                segment_len: 4096,
+                threads: 4,
+                ..ScrutinyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(seg.tape_stats.segments > 1);
+        assert!(seg.sweep.parallel);
+        assert_eq!(base.vars.len(), seg.vars.len());
+        for (a, b) in base.vars.iter().zip(&seg.vars) {
+            assert_eq!(a.value_map, b.value_map, "{}: value map", a.spec.name);
+            assert_eq!(
+                a.structural_map, b.structural_map,
+                "{}: structural map",
+                a.spec.name
+            );
+            for (ga, gb) in a.grad_mag.iter().zip(&b.grad_mag) {
+                assert_eq!(
+                    ga.to_bits(),
+                    gb.to_bits(),
+                    "{}: grad magnitude",
+                    a.spec.name
+                );
+            }
+        }
+    }
+}
