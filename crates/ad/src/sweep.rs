@@ -22,9 +22,9 @@
 //! target t)` buffer is sent at most once, sources sweep in decreasing
 //! order, and the worker owning `t` replays its queue FIFO — so slot `k`'s
 //! additions happen in serial order even though *different* slots merge
-//! concurrently. That schedule lives in one place — [`run_frontier_sweep`]
-//! — shared by both sweeps; a [`SweepKernel`] supplies the per-segment
-//! math. The property suite (`crates/ad/tests/segmented.rs`) checks
+//! concurrently. That schedule lives in one place — the private
+//! `run_frontier_sweep` — shared by both sweeps; a private `SweepKernel`
+//! supplies the per-segment math. The property suite (`crates/ad/tests/segmented.rs`) checks
 //! `to_bits`-equality on random tapes; the root
 //! `tests/sweep_equivalence.rs` checks it on real NPB recordings.
 //!

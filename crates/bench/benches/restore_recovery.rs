@@ -1,0 +1,136 @@
+//! Restore-side performance: parallel vs serial image reconstruction,
+//! and the cost of a recovery scan across damaged versions.
+//!
+//! The write path's numbers live in `engine_submit`/`delta_submit`;
+//! this bench is their §IV.C mirror. It builds realistic layouts from
+//! an NPB FT snapshot (the large complex-typed state that stresses
+//! sharding hardest):
+//!
+//! * `restore/*` — reconstruct one sharded checkpoint image, serial
+//!   reader (`read_data_image`) vs the parallel pipeline
+//!   (`read_data_image_parallel`) at 2 and 4 threads. On a single-core
+//!   container the parallel rows measure pure pipeline overhead; on
+//!   real cores they report the speedup.
+//! * `recovery_scan/*` — `RecoveryManager::recover_latest` over a
+//!   backend whose newest versions are damaged: the price of walking
+//!   back `k` corrupt versions before finding an intact one.
+//!
+//! Run with: `cargo bench -p scrutiny-bench --bench restore_recovery`
+
+use criterion::{black_box, criterion_group, Criterion};
+use scrutiny_ckpt::delta::read_data_image;
+use scrutiny_ckpt::restore::{read_data_image_parallel, RestoreOptions};
+use scrutiny_core::restart::capture_state;
+use scrutiny_core::{plan::plans_for, scrutinize, Policy};
+use scrutiny_engine::{
+    EngineConfig, EngineHandle, Layout, MemBackend, RecoveryConfig, RecoveryManager, StorageBackend,
+};
+use scrutiny_faultinj::StorageScenario;
+use scrutiny_npb::{perturb_localized, Ft};
+use std::sync::Arc;
+
+/// A backend holding `epochs` sharded FT checkpoints.
+fn sharded_backend(epochs: usize) -> Arc<MemBackend> {
+    let app = Ft::class_s();
+    let analysis = scrutinize(&app).unwrap();
+    let mut vars = capture_state(&app);
+    let plans = plans_for(&analysis, Policy::PrunedValue);
+    let mem = Arc::new(MemBackend::new());
+    let engine = EngineHandle::open(
+        mem.clone(),
+        EngineConfig {
+            workers: 4,
+            target_shards: 8,
+            layout: Layout::Sharded,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            perturb_localized(&mut vars, epoch);
+        }
+        let t = engine.submit(&vars, &plans).unwrap();
+        engine.wait(t).unwrap();
+    }
+    mem
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let mem = sharded_backend(1);
+    let fetch = |name: &str| mem.get(name);
+    let mut g = c.benchmark_group("restore");
+    g.sample_size(20);
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(read_data_image(0, fetch).unwrap()))
+    });
+    for threads in [2usize, 4] {
+        g.bench_function(&format!("parallel_{threads}"), |b| {
+            b.iter(|| {
+                black_box(read_data_image_parallel(0, &fetch, &RestoreOptions { threads }).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_scan");
+    g.sample_size(10);
+    for corrupt in [0usize, 1, 3] {
+        // 5 epochs; damage the newest `corrupt` of them, so every
+        // recover_latest walks back `corrupt` rejections. The scan only
+        // reads, so injecting once outside the timing loop is sound.
+        let mem = sharded_backend(5);
+        for v in (5 - corrupt as u64)..5 {
+            StorageScenario::TruncatedShard
+                .inject(mem.as_ref(), v)
+                .unwrap();
+        }
+        let mgr = RecoveryManager::new(mem, RecoveryConfig::default());
+        g.bench_function(&format!("fallback_depth_{corrupt}"), |b| {
+            b.iter(|| {
+                let r = mgr.recover_latest().unwrap();
+                assert_eq!(r.report.rejected.len(), corrupt);
+                black_box(r.version)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Headline numbers printed after the criterion groups: measured
+/// parallel-vs-serial restore ratio and the per-rejection scan cost.
+fn restore_summary() {
+    use std::time::Instant;
+    let mem = sharded_backend(1);
+    let fetch = |name: &str| mem.get(name);
+    const REPS: u32 = 20;
+
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        black_box(read_data_image(0, fetch).unwrap());
+    }
+    let serial = t0.elapsed() / REPS;
+
+    println!("\nFT class S sharded restore (image reconstruction + CRC verify):");
+    println!("  serial      {serial:>10.1?}");
+    for threads in [2usize, 4] {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            black_box(read_data_image_parallel(0, &fetch, &RestoreOptions { threads }).unwrap());
+        }
+        let par = t0.elapsed() / REPS;
+        println!(
+            "  parallel x{threads} {par:>10.1?}   ({:.2}x vs serial)",
+            serial.as_secs_f64() / par.as_secs_f64().max(1e-12)
+        );
+    }
+}
+
+criterion_group!(benches, bench_restore, bench_recovery_scan);
+
+fn main() {
+    benches();
+    restore_summary();
+}

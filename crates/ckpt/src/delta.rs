@@ -42,7 +42,7 @@ const DELTA_VERSION: u32 = 1;
 const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8;
 /// Chains longer than this are rejected as corrupt (a healthy writer
 /// rebases long before; a cycle would otherwise loop forever).
-const MAX_CHAIN_LEN: usize = 100_000;
+pub(crate) const MAX_CHAIN_LEN: usize = 100_000;
 
 /// How a delta-checkpoint chain is grown.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,10 +176,11 @@ fn parent_header(delta: &[u8]) -> Result<u64, CkptError> {
     Ok(u64::from_le_bytes(delta[12..20].try_into().unwrap()))
 }
 
-/// Parse and CRC-verify a delta file, then patch `parent` with it:
-/// truncate or zero-extend to the recorded length, overwrite the dirty
-/// pages. Returns the reconstructed data-file image.
-pub fn apply_delta(parent: &[u8], delta: &[u8]) -> Result<Vec<u8>, CkptError> {
+/// Verify a delta file's envelope: length, magic, and the CRC-32
+/// trailer. [`apply_delta`] runs this first; the parallel restore
+/// pipeline runs it concurrently across chain links and then patches
+/// with [`apply_delta_verified`] so each link is hashed exactly once.
+pub(crate) fn check_delta(delta: &[u8]) -> Result<(), CkptError> {
     if delta.len() < HEADER_LEN + 4 {
         return Err(CkptError::Corrupt("delta file too short".into()));
     }
@@ -192,6 +193,22 @@ pub fn apply_delta(parent: &[u8], delta: &[u8]) -> Result<Vec<u8>, CkptError> {
     if expected != actual {
         return Err(CkptError::ChecksumMismatch { expected, actual });
     }
+    Ok(())
+}
+
+/// Parse and CRC-verify a delta file, then patch `parent` with it:
+/// truncate or zero-extend to the recorded length, overwrite the dirty
+/// pages. Returns the reconstructed data-file image.
+pub fn apply_delta(parent: &[u8], delta: &[u8]) -> Result<Vec<u8>, CkptError> {
+    check_delta(delta)?;
+    apply_delta_verified(parent, delta)
+}
+
+/// [`apply_delta`] minus the envelope pass — the delta must already have
+/// passed [`check_delta`]. Structural bounds (page table, payload
+/// lengths) are still validated here.
+pub(crate) fn apply_delta_verified(parent: &[u8], delta: &[u8]) -> Result<Vec<u8>, CkptError> {
+    let body = &delta[..delta.len() - 4];
     let page_bytes = u32::from_le_bytes(delta[20..24].try_into().unwrap()) as usize;
     if page_bytes == 0 {
         return Err(CkptError::Corrupt(
@@ -232,39 +249,52 @@ pub fn apply_delta(parent: &[u8], delta: &[u8]) -> Result<Vec<u8>, CkptError> {
     Ok(out)
 }
 
-fn is_not_found(e: &CkptError) -> bool {
+pub(crate) fn is_not_found(e: &CkptError) -> bool {
     matches!(e, CkptError::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
 }
 
-/// Fetch the data-file image of checkpoint `version` in **any** layout:
-/// monolithic (`ckpt_v.data`), sharded (`ckpt_v.smf` + shards), or delta
-/// (`ckpt_v.delta`, walking the parent chain back to a full image and
-/// replaying the deltas forward). `fetch` resolves an object name (see
-/// [`crate::names`]) to its bytes — a directory read for the on-disk
-/// store, a backend `get` for the async engine. Every layer is
-/// CRC-verified: shards against their manifest, deltas against their own
-/// trailer, and the final image still carries the data file's envelope.
-pub fn read_data_image(
+/// The full image a delta chain anchors on, as discovered by
+/// [`walk_chain`].
+pub(crate) enum ChainBase {
+    /// One `ckpt_v.data` object, fetched whole.
+    Monolithic(Vec<u8>),
+    /// A parsed `ckpt_v.smf` manifest; the shards themselves are not yet
+    /// fetched — the caller decides whether to read them serially or on
+    /// a worker pool.
+    Sharded {
+        /// Version holding the manifest (the chain's anchor).
+        version: u64,
+        /// Its parsed, CRC-verified manifest.
+        manifest: ShardManifest,
+    },
+}
+
+/// Walk `version`'s parent pointers newest-first until a full
+/// (monolithic or sharded) image anchors the chain; returns the base and
+/// the delta files in walk order (newest first, **not** yet
+/// CRC-verified). One discovery routine shared by the serial
+/// [`read_data_image`] and the parallel
+/// [`crate::restore::read_data_image_parallel`], so layout probing,
+/// cycle rejection, and the chain-length bound cannot drift between the
+/// two readers.
+pub(crate) fn walk_chain(
     version: u64,
     mut fetch: impl FnMut(&str) -> Result<Vec<u8>, CkptError>,
-) -> Result<Vec<u8>, CkptError> {
-    // Walk parents, collecting the deltas newest-first, until a version
-    // with a full (monolithic or sharded) image anchors the chain.
+) -> Result<(ChainBase, Vec<Vec<u8>>), CkptError> {
     let mut deltas: Vec<Vec<u8>> = Vec::new();
     let mut v = version;
     let base = loop {
         match fetch(&names::data(v)) {
-            Ok(data) => break data,
+            Ok(data) => break ChainBase::Monolithic(data),
             Err(e) if is_not_found(&e) => {}
             Err(e) => return Err(e),
         }
         match fetch(&names::manifest(v)) {
             Ok(m) => {
-                let manifest = ShardManifest::from_bytes(&m)?;
-                let shards: Vec<Vec<u8>> = (0..manifest.shard_count())
-                    .map(|i| fetch(&names::shard(v, i)))
-                    .collect::<Result<_, _>>()?;
-                break manifest.assemble(&shards)?;
+                break ChainBase::Sharded {
+                    version: v,
+                    manifest: ShardManifest::from_bytes(&m)?,
+                }
             }
             Err(e) if is_not_found(&e) => {}
             Err(e) => return Err(e),
@@ -284,7 +314,31 @@ pub fn read_data_image(
         }
         v = parent;
     };
-    let mut image = base;
+    Ok((base, deltas))
+}
+
+/// Fetch the data-file image of checkpoint `version` in **any** layout:
+/// monolithic (`ckpt_v.data`), sharded (`ckpt_v.smf` + shards), or delta
+/// (`ckpt_v.delta`, walking the parent chain back to a full image and
+/// replaying the deltas forward). `fetch` resolves an object name (see
+/// [`crate::names`]) to its bytes — a directory read for the on-disk
+/// store, a backend `get` for the async engine. Every layer is
+/// CRC-verified: shards against their manifest, deltas against their own
+/// trailer, and the final image still carries the data file's envelope.
+pub fn read_data_image(
+    version: u64,
+    mut fetch: impl FnMut(&str) -> Result<Vec<u8>, CkptError>,
+) -> Result<Vec<u8>, CkptError> {
+    let (base, deltas) = walk_chain(version, &mut fetch)?;
+    let mut image = match base {
+        ChainBase::Monolithic(data) => data,
+        ChainBase::Sharded { version, manifest } => {
+            let shards: Vec<Vec<u8>> = (0..manifest.shard_count())
+                .map(|i| fetch(&names::shard(version, i)))
+                .collect::<Result<_, _>>()?;
+            manifest.assemble(&shards)?
+        }
+    };
     for delta in deltas.iter().rev() {
         image = apply_delta(&image, delta)?;
     }

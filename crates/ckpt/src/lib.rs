@@ -28,6 +28,10 @@
 //! * [`incremental`] — a page-granularity incremental *accounting*
 //!   baseline (à la dirty-page tracking, cf. Vasavada et al. in the
 //!   paper's related work) for storage comparisons.
+//! * [`restore`] — the read-side mirror of the sharded writer: a
+//!   parallel restore pipeline that fetches and CRC-verifies shards and
+//!   delta-chain links concurrently, assembling an image bit-identical
+//!   to the serial reader's.
 
 #![warn(missing_docs)]
 
@@ -38,6 +42,7 @@ pub mod incremental;
 pub mod names;
 pub mod reader;
 pub mod regions;
+pub mod restore;
 pub mod shard;
 pub mod store;
 pub mod writer;
@@ -49,6 +54,7 @@ pub use format::{
 };
 pub use reader::Checkpoint;
 pub use regions::{Region, Regions};
+pub use restore::{read_data_image_parallel, RestoreOptions, RestoreStats};
 pub use shard::{plan_shards, seal_shards, serialize_shard, ShardManifest, ShardPlan};
 pub use store::CheckpointStore;
 pub use writer::{serialize_aux, serialize_data, write_checkpoint, write_file_atomic};

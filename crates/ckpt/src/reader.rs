@@ -329,6 +329,26 @@ impl Checkpoint {
         Self::from_bytes(&data, &aux)
     }
 
+    /// [`Checkpoint::load`] through the parallel restore pipeline
+    /// ([`crate::restore`]): shards and delta-chain links are fetched
+    /// and CRC-verified concurrently, and the assembled image — being
+    /// bit-identical to the serial path's — parses identically. Returns
+    /// the checkpoint plus what the pipeline did.
+    pub fn load_parallel(
+        dir: &Path,
+        version: u64,
+        opts: &crate::restore::RestoreOptions,
+    ) -> Result<(Self, crate::restore::RestoreStats), CkptError> {
+        let (_, aux_path) = file_names(dir, version);
+        let aux = fs::read(&aux_path)?;
+        let (data, stats) = crate::restore::read_data_image_parallel(
+            version,
+            &|name: &str| fs::read(dir.join(name)).map_err(CkptError::from),
+            opts,
+        )?;
+        Ok((Self::from_bytes(&data, &aux)?, stats))
+    }
+
     /// Look up a variable by name.
     pub fn var(&self, name: &str) -> Result<&LoadedVar, CkptError> {
         self.vars

@@ -1,0 +1,399 @@
+//! Parallel, CRC-verifying checkpoint restore.
+//!
+//! The write path is scale-out (the async engine serializes shards on a
+//! worker pool); this module is its read-side mirror, because the
+//! paper's whole value proposition is cheap *restart* (§IV.C): a
+//! scrutinized checkpoint only matters if getting it back into memory is
+//! fast and trustworthy. [`read_data_image_parallel`] reconstructs the
+//! data-file image of a checkpoint in **any** layout — monolithic,
+//! sharded, or delta chain — exactly like the serial
+//! [`crate::delta::read_data_image`], but:
+//!
+//! * data shards are fetched **and CRC-verified concurrently**, one job
+//!   per shard on a bounded thread pool (mirroring the write-side worker
+//!   pool), then concatenated in manifest order;
+//! * delta-chain links are envelope-verified (magic + CRC trailer)
+//!   concurrently with each other and with the shard jobs of a sharded
+//!   base (a monolithic base's bytes necessarily arrive during
+//!   discovery — probing its existence *is* fetching it); the patch
+//!   replay itself stays oldest-first (it is inherently sequential),
+//!   re-using the already verified links so every byte is hashed
+//!   exactly once;
+//! * the assembled image is **bit-identical** to the serial reader's —
+//!   property-tested in `tests/recovery_faultinj.rs` — so the auxiliary
+//!   file, every [`crate::FillPolicy`], and
+//!   [`crate::reader::Checkpoint::from_bytes`] apply unchanged.
+//!
+//! Chain *discovery* (walking parent pointers) is serial by nature: a
+//! delta's parent version lives inside the delta file. Discovery reads
+//! are cheap (one object fetch per link); the expensive work — hashing
+//! and shard transfer — is what parallelizes.
+//!
+//! Integrity failures surface as the same typed [`CkptError`]s the
+//! serial path produces ([`CkptError::ChecksumMismatch`],
+//! [`CkptError::Corrupt`], not-found I/O); the engine's
+//! `RecoveryManager` maps them to fall-back decisions.
+
+use crate::delta::{apply_delta_verified, check_delta, walk_chain, ChainBase};
+use crate::format::{crc32, CkptError};
+use crate::names;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for the parallel restore pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestoreOptions {
+    /// Worker threads fetching and verifying objects. `0` (the default)
+    /// picks `available_parallelism` (capped at 8); `1` runs fully
+    /// serial — useful as the bit-identity reference and on single-core
+    /// hosts where thread spawn overhead outweighs the overlap.
+    pub threads: usize,
+}
+
+/// What one parallel restore actually did (for reports and benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Worker threads the pipeline ran with (1 = serial).
+    pub threads: usize,
+    /// Shards of the base image (0 when the base is monolithic).
+    pub base_shards: usize,
+    /// Delta-chain links walked and replayed on top of the base.
+    pub delta_links: usize,
+    /// Bytes of the reconstructed data-file image.
+    pub image_bytes: usize,
+}
+
+fn resolve_threads(requested: usize, jobs: usize) -> usize {
+    let cap = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        requested
+    };
+    cap.min(jobs).max(1)
+}
+
+/// One unit of parallel work: fetch+verify a shard, or verify an
+/// already-fetched delta link.
+enum Job<'a> {
+    Shard {
+        version: u64,
+        idx: usize,
+        len: u64,
+        crc: u32,
+    },
+    Delta(&'a [u8]),
+}
+
+/// Reconstruct the data-file image of checkpoint `version` through
+/// `fetch`, using up to [`RestoreOptions::threads`] workers to fetch and
+/// CRC-verify shards and delta links concurrently. The returned image is
+/// bit-identical to [`crate::delta::read_data_image`]'s; the stats say
+/// what the pipeline did. `fetch` must resolve an object name (see
+/// [`crate::names`]) to its bytes and be callable from several threads
+/// at once — a directory read or a backend `get` both qualify.
+pub fn read_data_image_parallel<F>(
+    version: u64,
+    fetch: &F,
+    opts: &RestoreOptions,
+) -> Result<(Vec<u8>, RestoreStats), CkptError>
+where
+    F: Fn(&str) -> Result<Vec<u8>, CkptError> + Sync,
+{
+    // --- Phase 1: discovery — the same `walk_chain` the serial reader
+    // uses (probe order, cycle rejection, and the chain-length bound
+    // cannot drift between the two). Serial by nature: the parent
+    // version is inside each delta file.
+    let (base, deltas) = walk_chain(version, |name| fetch(name))?;
+
+    // --- Phase 2: fan out the expensive work — shard fetches and CRC
+    // passes — across the pool, first failure wins.
+    let mut jobs: Vec<Job> = Vec::new();
+    if let ChainBase::Sharded { version, manifest } = &base {
+        for idx in 0..manifest.shard_count() {
+            jobs.push(Job::Shard {
+                version: *version,
+                idx,
+                len: manifest.shard_lens[idx],
+                crc: manifest.shard_crcs[idx],
+            });
+        }
+    }
+    for delta in &deltas {
+        jobs.push(Job::Delta(delta));
+    }
+
+    let base_shards = match &base {
+        ChainBase::Sharded { manifest, .. } => manifest.shard_count(),
+        ChainBase::Monolithic(_) => 0,
+    };
+    let threads = resolve_threads(opts.threads, jobs.len().max(1));
+
+    let shard_bytes: Vec<Mutex<Option<Vec<u8>>>> =
+        (0..base_shards).map(|_| Mutex::new(None)).collect();
+    run_jobs(&jobs, threads, fetch, &shard_bytes)?;
+
+    // --- Phase 3: assemble, exactly as the serial path does: shards
+    // concatenated in manifest order, then deltas replayed oldest-first.
+    let mut image = match base {
+        ChainBase::Monolithic(data) => data,
+        ChainBase::Sharded { manifest, .. } => {
+            let mut out = Vec::with_capacity(manifest.total_len as usize);
+            for slot in &shard_bytes {
+                out.extend_from_slice(
+                    slot.lock()
+                        .unwrap()
+                        .as_ref()
+                        .expect("run_jobs succeeded, every shard slot is filled"),
+                );
+            }
+            out
+        }
+    };
+    for delta in deltas.iter().rev() {
+        image = apply_delta_verified(&image, delta)?;
+    }
+    let stats = RestoreStats {
+        threads,
+        base_shards,
+        delta_links: deltas.len(),
+        image_bytes: image.len(),
+    };
+    Ok((image, stats))
+}
+
+/// Run `jobs` on `threads` workers: each worker claims the next job from
+/// a shared counter, so a slow shard does not leave siblings idle. A
+/// failed job flags the first error and the rest of the pool winds down.
+fn run_jobs<F>(
+    jobs: &[Job],
+    threads: usize,
+    fetch: &F,
+    shard_bytes: &[Mutex<Option<Vec<u8>>>],
+) -> Result<(), CkptError>
+where
+    F: Fn(&str) -> Result<Vec<u8>, CkptError> + Sync,
+{
+    let run_one = |job: &Job| -> Result<(), CkptError> {
+        match *job {
+            Job::Shard {
+                version,
+                idx,
+                len,
+                crc,
+            } => {
+                let bytes = fetch(&names::shard(version, idx))?;
+                if bytes.len() as u64 != len {
+                    return Err(CkptError::Corrupt(format!(
+                        "shard {idx} is {} bytes, manifest says {len}",
+                        bytes.len()
+                    )));
+                }
+                let actual = crc32(&bytes);
+                if actual != crc {
+                    return Err(CkptError::ChecksumMismatch {
+                        expected: crc,
+                        actual,
+                    });
+                }
+                *shard_bytes[idx].lock().unwrap() = Some(bytes);
+                Ok(())
+            }
+            Job::Delta(delta) => check_delta(delta),
+        }
+    };
+
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            run_one(job)?;
+        }
+        return Ok(());
+    }
+
+    let next = AtomicUsize::new(0);
+    let first_err: Mutex<Option<CkptError>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() || first_err.lock().unwrap().is_some() {
+                    return;
+                }
+                if let Err(e) = run_one(&jobs[i]) {
+                    let mut slot = first_err.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    return;
+                }
+            });
+        }
+    });
+    match first_err.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{diff_images, read_data_image};
+    use crate::shard::{plan_shards, seal_shards, serialize_shard};
+    use crate::writer::serialize_data;
+    use crate::{Bitmap, Regions, VarData, VarPlan, VarRecord};
+    use std::collections::HashMap;
+
+    fn sample(n: usize, scale: f64) -> (Vec<VarRecord>, Vec<VarPlan>) {
+        let vars = vec![
+            VarRecord::new(
+                "u",
+                VarData::F64((0..n).map(|i| (i as f64 * scale).sin()).collect()),
+            ),
+            VarRecord::new("it", VarData::I64(vec![n as i64, 7])),
+        ];
+        let crit = Bitmap::from_fn(n, |i| i % 4 != 1);
+        let plans = vec![VarPlan::Pruned(Regions::from_bitmap(&crit)), VarPlan::Full];
+        (vars, plans)
+    }
+
+    fn mem_fetch(
+        objects: &HashMap<String, Vec<u8>>,
+    ) -> impl Fn(&str) -> Result<Vec<u8>, CkptError> + Sync + '_ {
+        |name| {
+            objects.get(name).cloned().ok_or_else(|| {
+                CkptError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    name.to_string(),
+                ))
+            })
+        }
+    }
+
+    /// Monolithic v0, sharded v1, delta chain v2..=v4 on top of v1.
+    fn build_layouts() -> HashMap<String, Vec<u8>> {
+        let mut objects = HashMap::new();
+
+        let (vars, plans) = sample(400, 0.25);
+        let (mono, _) = serialize_data(&vars, &plans).unwrap();
+        objects.insert(names::data(0), mono);
+
+        let (vars, plans) = sample(600, 1.5);
+        let plan = plan_shards(&vars, &plans, 4).unwrap();
+        let shards: Vec<Vec<u8>> = (0..plan.shard_count())
+            .map(|i| serialize_shard(&vars, &plans, &plan, i).0)
+            .collect();
+        let (sealed, manifest) = seal_shards(shards);
+        for (i, s) in sealed.iter().enumerate() {
+            objects.insert(names::shard(1, i), s.clone());
+        }
+        objects.insert(names::manifest(1), manifest.to_bytes());
+
+        let mut img = read_data_image(1, mem_fetch(&objects)).unwrap();
+        for v in 2u64..=4 {
+            let mut next = img.clone();
+            let at = (v as usize * 131) % next.len();
+            next[at] ^= 0x5A;
+            let (d, _) = diff_images(&img, &next, v - 1, 128).unwrap();
+            objects.insert(names::delta(v), d);
+            img = next;
+        }
+        objects
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_all_layouts_and_thread_counts() {
+        let objects = build_layouts();
+        for version in 0u64..=4 {
+            let want = read_data_image(version, mem_fetch(&objects)).unwrap();
+            for threads in [0usize, 1, 2, 5] {
+                let (got, stats) = read_data_image_parallel(
+                    version,
+                    &mem_fetch(&objects),
+                    &RestoreOptions { threads },
+                )
+                .unwrap();
+                assert_eq!(got, want, "version {version}, {threads} threads");
+                assert_eq!(stats.image_bytes, want.len());
+                match version {
+                    0 => assert_eq!((stats.base_shards, stats.delta_links), (0, 0)),
+                    1 => assert_eq!(stats.delta_links, 0),
+                    v => {
+                        assert_eq!(stats.delta_links as u64, v - 1);
+                        assert!(stats.base_shards >= 2, "chain anchors on the sharded base");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn damaged_shard_is_pinned_by_the_parallel_path() {
+        let mut objects = build_layouts();
+        objects.get_mut(&names::shard(1, 1)).unwrap()[3] ^= 0xFF;
+        for threads in [1usize, 4] {
+            let err =
+                read_data_image_parallel(1, &mem_fetch(&objects), &RestoreOptions { threads })
+                    .unwrap_err();
+            assert!(
+                matches!(err, CkptError::ChecksumMismatch { .. }),
+                "{threads} threads: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn damaged_delta_link_fails_the_chain() {
+        let mut objects = build_layouts();
+        let d = objects.get_mut(&names::delta(3)).unwrap();
+        let mid = d.len() / 2;
+        d[mid] ^= 0x01;
+        // Version 2 (below the damage) still restores…
+        assert!(
+            read_data_image_parallel(2, &mem_fetch(&objects), &RestoreOptions::default()).is_ok()
+        );
+        // …versions 3 and 4 (through the damaged link) do not.
+        for v in [3u64, 4] {
+            assert!(
+                read_data_image_parallel(v, &mem_fetch(&objects), &RestoreOptions::default())
+                    .is_err(),
+                "version {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_shard_reports_corrupt_not_panic() {
+        let mut objects = build_layouts();
+        objects.get_mut(&names::shard(1, 0)).unwrap().truncate(9);
+        let err = read_data_image_parallel(1, &mem_fetch(&objects), &RestoreOptions { threads: 3 })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CkptError::Corrupt(_) | CkptError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_base_surfaces_not_found() {
+        let mut objects = build_layouts();
+        objects.remove(&names::manifest(1));
+        let err = read_data_image_parallel(4, &mem_fetch(&objects), &RestoreOptions::default())
+            .unwrap_err();
+        assert!(crate::delta::is_not_found(&err), "{err}");
+    }
+
+    #[test]
+    fn cyclic_parent_rejected() {
+        let a: Vec<u8> = (0..100u8).collect();
+        let (d, _) = diff_images(&a, &a, 5, 64).unwrap();
+        let mut objects = HashMap::new();
+        objects.insert(names::delta(5), d);
+        match read_data_image_parallel(5, &mem_fetch(&objects), &RestoreOptions::default()) {
+            Err(CkptError::Corrupt(m)) => assert!(m.contains("not older"), "{m}"),
+            other => panic!("expected corrupt-cycle error, got {other:?}"),
+        };
+    }
+}

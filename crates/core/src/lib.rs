@@ -76,8 +76,9 @@ pub use report::{
     format_table1, format_table2, format_table3, table2_rows, table3_row, Table2Row, Table3Row,
 };
 pub use restart::{
-    checkpoint_restart_cycle, checkpoint_restart_cycle_async, submit_checkpoint, RestartConfig,
-    RestartReport,
+    checkpoint_recover_cycle_async, checkpoint_restart_cycle, checkpoint_restart_cycle_async,
+    recover_latest_checkpoint, submit_checkpoint, verify_restart_from, RecoverRestartReport,
+    RestartConfig, RestartReport,
 };
 pub use site::{CaptureSite, CkptSite, LeafSite, RestoreSite, VarRefMut};
 pub use spec::{AppSpec, VarSpec};
@@ -85,8 +86,10 @@ pub use spec::{AppSpec, VarSpec};
 // Re-export the scalar abstraction so applications depend on one crate.
 pub use scrutiny_ad::{AdError, Adj, Cplx, Dual, Real, SweepConfig, SweepStats};
 pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};
-// Re-export the async checkpoint engine so applications wire one crate.
+// Re-export the async checkpoint engine (and its recovery side) so
+// applications wire one crate.
 pub use scrutiny_engine::{
     DeltaPolicy, DirBackend, EngineConfig, EngineError, EngineHandle, Layout, MemBackend,
-    ShardedBackend, Snapshot, StorageBackend, Ticket,
+    Recovered, RecoveryConfig, RecoveryManager, RecoveryReport, RejectedVersion, RestoreOptions,
+    RestoreStats, ShardedBackend, Snapshot, StorageBackend, Ticket,
 };

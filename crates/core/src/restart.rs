@@ -16,7 +16,9 @@ use scrutiny_ckpt::{
     Checkpoint, CheckpointStore, CkptError, DType, FillPolicy, StorageBreakdown, VarData, VarPlan,
     VarRecord,
 };
-use scrutiny_engine::{EngineError, EngineHandle};
+use scrutiny_engine::{
+    EngineError, EngineHandle, Recovered, RecoveryConfig, RecoveryManager, RecoveryReport,
+};
 use std::path::PathBuf;
 
 /// Configuration of a restart experiment.
@@ -218,6 +220,75 @@ pub fn checkpoint_restart_cycle_async(
         .map_err(EngineError::from)
 }
 
+/// Run the §IV.C verification cycle against an **already-loaded**
+/// checkpoint: golden run, restore from `checkpoint` with holes filled,
+/// restart, compare. This is the back half every recovery path ends in —
+/// the checkpoint may have been read serially, restored by the parallel
+/// pipeline, or selected by a [`RecoveryManager`] fallback scan; the
+/// verification semantics are identical. `storage` is whatever byte
+/// accounting the caller has for the checkpoint under test (recovery
+/// callers typically only know raw image sizes — see
+/// [`checkpoint_recover_cycle_async`]).
+pub fn verify_restart_from(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    cfg: &RestartConfig,
+    checkpoint: &Checkpoint,
+    storage: StorageBreakdown,
+) -> Result<RestartReport, CkptError> {
+    let prefix = cycle_prefix(app, analysis, cfg)?;
+    cycle_finish(app, analysis, cfg, &prefix, checkpoint, storage, |_, _| {})
+}
+
+/// Outcome of a recover-then-restart cycle: the §IV.C verification
+/// result plus the recovery scan that chose the checkpoint.
+#[derive(Debug)]
+pub struct RecoverRestartReport {
+    /// The restart verification against the golden output.
+    pub restart: RestartReport,
+    /// Which version recovered, what was rejected on the way, and why.
+    pub recovery: RecoveryReport,
+}
+
+/// The restore counterpart of [`submit_checkpoint`]: recover the newest
+/// fully-verifiable checkpoint from the engine's backend (falling back
+/// across damaged versions — bad CRCs, missing shards, broken delta
+/// parents — instead of erroring out) and run the §IV.C verification
+/// cycle from it. In the report's [`RestartReport::storage`], the
+/// payload/aux fields hold the recovered data/aux image sizes — the
+/// writer-side header split is not recoverable after the fact.
+pub fn checkpoint_recover_cycle_async(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    cfg: &RestartConfig,
+    engine: &EngineHandle,
+    recovery: &RecoveryConfig,
+) -> Result<RecoverRestartReport, EngineError> {
+    let recovered = recover_latest_checkpoint(engine, recovery)?;
+    let storage = StorageBreakdown {
+        payload_bytes: recovered.data.len(),
+        aux_bytes: recovered.aux.len(),
+        header_bytes: 0,
+    };
+    let restart = verify_restart_from(app, analysis, cfg, &recovered.checkpoint, storage)
+        .map_err(EngineError::from)?;
+    Ok(RecoverRestartReport {
+        restart,
+        recovery: recovered.report,
+    })
+}
+
+/// Recover the newest fully-verifiable checkpoint from `engine`'s
+/// backend (a thin [`RecoveryManager`] wrapper, so applications wire one
+/// crate). The engine should be drained first — in-flight submissions
+/// look like partial writes to the scan.
+pub fn recover_latest_checkpoint(
+    engine: &EngineHandle,
+    recovery: &RecoveryConfig,
+) -> Result<Recovered, EngineError> {
+    RecoveryManager::new(engine.backend(), *recovery).recover_latest()
+}
+
 /// Materialize every variable of a loaded checkpoint into full-size
 /// buffers, in the order of the analysis spec.
 pub fn materialize_all(
@@ -405,6 +476,47 @@ mod tests {
         assert!(
             report.storage.total() < report.full_storage.total(),
             "a delta epoch must write less than a full checkpoint"
+        );
+    }
+
+    #[test]
+    fn recover_cycle_falls_back_to_intact_version_and_verifies() {
+        use scrutiny_ckpt::names;
+        use scrutiny_engine::{EngineConfig, MemBackend, RecoveryConfig, StorageBackend};
+        use std::sync::Arc;
+
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app).unwrap();
+        let cfg = RestartConfig::default();
+        let mem = Arc::new(MemBackend::new());
+        let engine = EngineHandle::open(mem.clone(), EngineConfig::default()).unwrap();
+
+        // Two epochs of the same boundary state; then the newest loses a
+        // payload byte on the storage tier.
+        for _ in 0..2 {
+            let t = submit_checkpoint(&app, &analysis, cfg.policy, &engine).unwrap();
+            engine.wait(t).unwrap();
+        }
+        let name = names::data(1);
+        let mut bytes = mem.get(&name).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        mem.put(&name, &bytes).unwrap();
+
+        let report = checkpoint_recover_cycle_async(
+            &app,
+            &analysis,
+            &cfg,
+            &engine,
+            &RecoveryConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.recovery.recovered, Some(0));
+        assert_eq!(report.recovery.rejected_versions(), vec![1]);
+        assert!(
+            report.restart.verified,
+            "restart from the recovered version failed (rel err {})",
+            report.restart.rel_err
         );
     }
 

@@ -31,19 +31,47 @@
 //!   periodic rebases and chain-aware retention, so temporal and
 //!   semantic redundancy removal compose. Page diffing happens in the
 //!   worker pool, ordered by a version turnstile.
+//! * [`RecoveryManager`] — the corruption-tolerant read side: restores
+//!   the newest checkpoint that fully verifies (shards and delta links
+//!   fetched and CRC-checked concurrently by
+//!   [`scrutiny_ckpt::restore`]), walking back across damaged versions
+//!   and naming each rejected one in a typed [`RecoveryReport`].
+//!
+//! The whole lifecycle — submit asynchronously, lose a byte on the
+//! storage tier, recover to the newest intact version:
 //!
 //! ```
-//! use scrutiny_engine::{EngineConfig, EngineHandle, MemBackend};
-//! use scrutiny_ckpt::{VarData, VarPlan, VarRecord};
+//! use scrutiny_engine::{
+//!     EngineConfig, EngineHandle, MemBackend, RecoveryConfig, RecoveryManager,
+//!     StorageBackend,
+//! };
+//! use scrutiny_ckpt::{names, VarData, VarPlan, VarRecord};
 //! use std::sync::Arc;
 //!
-//! let engine = EngineHandle::open(Arc::new(MemBackend::new()),
-//!                                 EngineConfig::default()).unwrap();
-//! let vars = vec![VarRecord::new("u", VarData::F64(vec![1.0; 1000]))];
-//! let ticket = engine.submit(&vars, &[VarPlan::Full]).unwrap();
-//! // … compute continues here while workers serialize and store …
-//! let storage = engine.wait(ticket).unwrap();
-//! assert!(storage.total() > 8000);
+//! let mem = Arc::new(MemBackend::new());
+//! let engine = EngineHandle::open(mem.clone(), EngineConfig::default()).unwrap();
+//!
+//! // Two checkpoint epochs; compute overlaps the workers' serialization.
+//! for epoch in 0..2 {
+//!     let vars = vec![VarRecord::new("u", VarData::F64(vec![epoch as f64; 1000]))];
+//!     let ticket = engine.submit(&vars, &[VarPlan::Full]).unwrap();
+//!     // … compute continues here while workers serialize and store …
+//!     let storage = engine.wait(ticket).unwrap();
+//!     assert!(storage.total() > 8000);
+//! }
+//!
+//! // The storage tier damages a byte of the newest checkpoint…
+//! let mut bytes = mem.get(&names::data(1)).unwrap();
+//! bytes[100] ^= 0xFF;
+//! mem.put(&names::data(1), &bytes).unwrap();
+//!
+//! // …so recovery rejects version 1 (CRC mismatch) and falls back.
+//! let recovered = RecoveryManager::new(mem, RecoveryConfig::default())
+//!     .recover_latest()
+//!     .unwrap();
+//! assert_eq!(recovered.version, 0);
+//! assert_eq!(recovered.report.rejected_versions(), vec![1]);
+//! assert!(recovered.checkpoint.var("u").is_ok());
 //! ```
 
 #![warn(missing_docs)]
@@ -51,6 +79,7 @@
 pub mod backend;
 pub mod engine;
 pub mod error;
+pub mod recovery;
 pub mod snapshot;
 
 pub use backend::{
@@ -59,7 +88,9 @@ pub use backend::{
 };
 pub use engine::{EngineConfig, EngineHandle, Layout, Ticket};
 pub use error::EngineError;
+pub use recovery::{Recovered, RecoveryConfig, RecoveryManager, RecoveryReport, RejectedVersion};
 pub use snapshot::Snapshot;
-// Re-export the delta-chain policy so delta-mode engines configure from
-// one crate.
+// Re-export the delta-chain policy and the restore pipeline's knobs so
+// delta-mode engines and recovery callers configure from one crate.
 pub use scrutiny_ckpt::delta::DeltaPolicy;
+pub use scrutiny_ckpt::restore::{RestoreOptions, RestoreStats};

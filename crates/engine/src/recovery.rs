@@ -1,0 +1,433 @@
+//! Recovery: find the newest checkpoint in a backend that still
+//! verifies, restoring it through the parallel pipeline and falling
+//! back across damaged versions instead of erroring out.
+//!
+//! The write path keeps several versions precisely so that a damaged
+//! newest checkpoint is an inconvenience, not a lost run ("save several
+//! versions of checkpoint files to make the data more durable", paper
+//! §II.A; divide-and-conquer checkpointing likewise assumes recovery
+//! can select among multiple viable snapshots). [`RecoveryManager`]
+//! implements that selection:
+//!
+//! 1. Scan the backend for every version that left *any* artifact —
+//!    including ones whose commit marker is missing, so the report can
+//!    name them instead of silently skipping them.
+//! 2. Newest-first, fully verify each candidate: auxiliary file
+//!    present, every shard/delta CRC good (checked concurrently by
+//!    [`scrutiny_ckpt::restore`]), delta parents resolvable, and the
+//!    assembled image parses through
+//!    [`scrutiny_ckpt::Checkpoint::from_bytes`] (whole-file CRC +
+//!    structural cross-checks).
+//! 3. An *integrity* failure (bad CRC, truncation, missing object,
+//!    broken delta parent) rejects the candidate and the scan walks
+//!    back; an *environmental* failure (permissions, I/O other than
+//!    not-found) aborts — retrying older versions cannot fix a dead
+//!    disk, and silently degrading to an older checkpoint would hide
+//!    it.
+//!
+//! The outcome is a [`Recovered`] checkpoint plus a [`RecoveryReport`]
+//! naming every rejected version and why; if nothing verifies, the
+//! typed [`EngineError::Unrecoverable`] carries the same report.
+
+use crate::backend::StorageBackend;
+use crate::error::EngineError;
+use scrutiny_ckpt::names::{self, CkptName};
+use scrutiny_ckpt::restore::{read_data_image_parallel, RestoreOptions, RestoreStats};
+use scrutiny_ckpt::{Checkpoint, CkptError};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Tuning knobs for a recovery scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Worker threads for the parallel restore of each candidate
+    /// (see [`RestoreOptions::threads`]; 0 — the default — is auto,
+    /// 1 is serial).
+    pub threads: usize,
+    /// Candidates examined before giving up (0 — the default — scans
+    /// every version the backend holds). Bounds worst-case recovery
+    /// latency when a backend holds a long history of damaged
+    /// checkpoints.
+    pub max_scan: usize,
+}
+
+/// One candidate the scan examined and refused, and the typed reason.
+#[derive(Debug)]
+pub struct RejectedVersion {
+    /// The checkpoint version that failed verification.
+    pub version: u64,
+    /// Why it failed (the restore/parse error, or a missing commit
+    /// marker).
+    pub error: CkptError,
+}
+
+/// What a recovery scan did: which versions it examined, which it
+/// rejected and why, and what the winning restore looked like.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// The version that recovered, if any.
+    pub recovered: Option<u64>,
+    /// Every rejected candidate, newest first, with its typed reason.
+    pub rejected: Vec<RejectedVersion>,
+    /// Candidates examined (rejected plus the winner, if any).
+    pub scanned: usize,
+    /// Pipeline stats of the winning restore.
+    pub restore: Option<RestoreStats>,
+}
+
+impl RecoveryReport {
+    /// The rejected versions, newest first (convenience for asserts and
+    /// log lines; the full reasons live in [`RecoveryReport::rejected`]).
+    pub fn rejected_versions(&self) -> Vec<u64> {
+        self.rejected.iter().map(|r| r.version).collect()
+    }
+}
+
+/// A successfully recovered checkpoint: the verified byte images, the
+/// parsed form, and the scan report that led here.
+///
+/// Holding both the raw images and the parsed [`Checkpoint`] is
+/// deliberate — the images are what bit-identity audits and re-publish
+/// paths need, and they already exist when verification finishes — but
+/// it does mean roughly twice the checkpoint's footprint is live until
+/// one side is dropped. Callers that only materialize variables should
+/// move `checkpoint` out and drop the rest.
+pub struct Recovered {
+    /// Version that verified.
+    pub version: u64,
+    /// Its reconstructed data-file image (bit-identical to a serial
+    /// load).
+    pub data: Vec<u8>,
+    /// Its auxiliary-file image.
+    pub aux: Vec<u8>,
+    /// The parsed checkpoint, ready for materialization.
+    pub checkpoint: Checkpoint,
+    /// What the scan rejected on the way, and the restore stats.
+    pub report: RecoveryReport,
+}
+
+// `Checkpoint` holds parsed payloads and has no `Debug`; summarize.
+impl std::fmt::Debug for Recovered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recovered")
+            .field("version", &self.version)
+            .field("data_bytes", &self.data.len())
+            .field("aux_bytes", &self.aux.len())
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Is this error a *statement about the checkpoint* (damaged, truncated,
+/// missing pieces) rather than about the environment? Integrity failures
+/// make the scan fall back; environmental ones abort it.
+fn is_integrity_failure(e: &CkptError) -> bool {
+    match e {
+        CkptError::Corrupt(_)
+        | CkptError::ChecksumMismatch { .. }
+        | CkptError::MissingVar(_)
+        | CkptError::PlanMismatch(_) => true,
+        CkptError::Io(io) => io.kind() == std::io::ErrorKind::NotFound,
+        CkptError::InvalidConfig(_) => false,
+    }
+}
+
+/// The corruption-tolerant read side of the engine: restores the newest
+/// fully-verifiable checkpoint from a backend, walking back across
+/// damaged versions. See the [module docs](self) for the scan contract.
+pub struct RecoveryManager {
+    backend: Arc<dyn StorageBackend>,
+    cfg: RecoveryConfig,
+}
+
+impl RecoveryManager {
+    /// A manager over `backend` (typically
+    /// [`crate::EngineHandle::backend`], or any store directory wrapped
+    /// in a [`crate::DirBackend`]).
+    pub fn new(backend: Arc<dyn StorageBackend>, cfg: RecoveryConfig) -> Self {
+        RecoveryManager { backend, cfg }
+    }
+
+    /// Every version the backend holds *any* artifact of — committed or
+    /// not — newest first. Uncommitted versions (aux/shards with no
+    /// commit marker: an interrupted write, or a marker lost to
+    /// corruption cleanup) are scan candidates so the report can name
+    /// them.
+    pub fn candidates(&self) -> Result<Vec<u64>, EngineError> {
+        Ok(Self::scan_listing(&self.backend.list()?).0)
+    }
+
+    /// Derive the candidate walk order (all versions with artifacts,
+    /// newest first) and the committed set from **one** backend listing
+    /// — listing once keeps the two views consistent (a version
+    /// committed between two listings must not be rejected as
+    /// marker-less against a stale snapshot) and halves the listing I/O
+    /// per scan.
+    fn scan_listing(listing: &[String]) -> (Vec<u64>, BTreeSet<u64>) {
+        let mut versions = BTreeSet::new();
+        let mut committed = BTreeSet::new();
+        for name in listing {
+            match names::classify(name) {
+                CkptName::Data(v) | CkptName::Manifest(v) | CkptName::Delta(v) => {
+                    versions.insert(v);
+                    committed.insert(v);
+                }
+                CkptName::Aux(v) => {
+                    versions.insert(v);
+                }
+                CkptName::Shard { version, .. } => {
+                    versions.insert(version);
+                }
+                CkptName::Tmp | CkptName::Other => {}
+            }
+        }
+        (versions.into_iter().rev().collect(), committed)
+    }
+
+    /// Fully verify and restore one specific version: commit marker
+    /// present, parallel image reconstruction with every CRC checked,
+    /// auxiliary file read, and the pair parsed through
+    /// [`Checkpoint::from_bytes`]. No fallback — the typed error says
+    /// exactly what is wrong with *this* version. (Lists the backend
+    /// once to find the commit markers; a scan over many candidates
+    /// should go through [`RecoveryManager::recover_latest`], which
+    /// shares one listing across the whole walk.)
+    pub fn restore_version(
+        &self,
+        version: u64,
+    ) -> Result<(Vec<u8>, Vec<u8>, Checkpoint, RestoreStats), CkptError> {
+        let (_, committed) = Self::scan_listing(&self.backend.list()?);
+        self.restore_committed(version, &committed)
+    }
+
+    /// [`RecoveryManager::restore_version`] against an already-derived
+    /// committed set (one [`RecoveryManager::scan_listing`] pass serves
+    /// a whole scan). Cheap checks run first: the commit marker and the
+    /// small auxiliary file reject a broken candidate before any shard
+    /// is fetched or hashed.
+    fn restore_committed(
+        &self,
+        version: u64,
+        committed: &BTreeSet<u64>,
+    ) -> Result<(Vec<u8>, Vec<u8>, Checkpoint, RestoreStats), CkptError> {
+        if !committed.contains(&version) {
+            return Err(CkptError::Corrupt(format!(
+                "version {version} has checkpoint artifacts but no commit marker \
+                 (data, manifest, or delta file)"
+            )));
+        }
+        let backend = self.backend.as_ref();
+        let aux = backend.get(&names::aux(version))?;
+        let (data, stats) = read_data_image_parallel(
+            version,
+            &|name: &str| backend.get(name),
+            &RestoreOptions {
+                threads: self.cfg.threads,
+            },
+        )?;
+        let checkpoint = Checkpoint::from_bytes(&data, &aux)?;
+        Ok((data, aux, checkpoint, stats))
+    }
+
+    /// Restore the newest checkpoint that fully verifies, walking back
+    /// across versions that do not. Returns the recovered checkpoint
+    /// with a report naming every rejected version; if no candidate
+    /// verifies (or the scan budget runs out first),
+    /// [`EngineError::Unrecoverable`] carries the same report.
+    pub fn recover_latest(&self) -> Result<Recovered, EngineError> {
+        let (candidates, committed) = Self::scan_listing(&self.backend.list()?);
+        let mut report = RecoveryReport::default();
+        for version in candidates {
+            if self.cfg.max_scan > 0 && report.scanned >= self.cfg.max_scan {
+                break;
+            }
+            report.scanned += 1;
+            match self.restore_committed(version, &committed) {
+                Ok((data, aux, checkpoint, stats)) => {
+                    report.recovered = Some(version);
+                    report.restore = Some(stats);
+                    return Ok(Recovered {
+                        version,
+                        data,
+                        aux,
+                        checkpoint,
+                        report,
+                    });
+                }
+                Err(e) if is_integrity_failure(&e) => {
+                    report.rejected.push(RejectedVersion { version, error: e });
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(EngineError::Unrecoverable(Box::new(report)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::engine::{EngineConfig, EngineHandle, Layout};
+    use scrutiny_ckpt::{VarData, VarPlan, VarRecord};
+
+    fn state(tag: f64) -> (Vec<VarRecord>, Vec<VarPlan>) {
+        (
+            vec![VarRecord::new(
+                "u",
+                VarData::F64((0..300).map(|i| i as f64 + tag).collect()),
+            )],
+            vec![VarPlan::Full],
+        )
+    }
+
+    fn filled_backend(layout: Layout, epochs: u64) -> Arc<MemBackend> {
+        let mem = Arc::new(MemBackend::new());
+        let eng = EngineHandle::open(
+            mem.clone(),
+            EngineConfig {
+                workers: 2,
+                target_shards: 3,
+                layout,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for e in 0..epochs {
+            let (vars, plans) = state(e as f64 * 0.5);
+            let t = eng.submit(&vars, &plans).unwrap();
+            eng.wait(t).unwrap();
+        }
+        mem
+    }
+
+    #[test]
+    fn clean_backend_recovers_newest() {
+        let mem = filled_backend(Layout::Monolithic, 3);
+        let mgr = RecoveryManager::new(mem, RecoveryConfig::default());
+        let r = mgr.recover_latest().unwrap();
+        assert_eq!(r.version, 2);
+        assert!(r.report.rejected.is_empty());
+        assert_eq!(r.report.scanned, 1);
+        assert!(r.checkpoint.var("u").is_ok());
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_with_named_rejection() {
+        let mem = filled_backend(Layout::Sharded, 3);
+        // Flip a payload byte of version 2's first shard.
+        let name = names::shard(2, 0);
+        let mut bytes = mem.get(&name).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        mem.put(&name, &bytes).unwrap();
+
+        let mgr = RecoveryManager::new(mem, RecoveryConfig::default());
+        let r = mgr.recover_latest().unwrap();
+        assert_eq!(r.version, 1);
+        assert_eq!(r.report.rejected_versions(), vec![2]);
+        assert!(matches!(
+            r.report.rejected[0].error,
+            CkptError::ChecksumMismatch { .. }
+        ));
+        assert_eq!(r.report.scanned, 2);
+    }
+
+    #[test]
+    fn version_without_commit_marker_is_named_not_skipped() {
+        let mem = filled_backend(Layout::Monolithic, 2);
+        mem.delete(&names::data(1)).unwrap(); // aux survives
+
+        let mgr = RecoveryManager::new(mem, RecoveryConfig::default());
+        let r = mgr.recover_latest().unwrap();
+        assert_eq!(r.version, 0);
+        assert_eq!(r.report.rejected_versions(), vec![1]);
+        let msg = r.report.rejected[0].error.to_string();
+        assert!(msg.contains("commit marker"), "{msg}");
+    }
+
+    #[test]
+    fn nothing_recoverable_is_a_typed_error_with_the_report() {
+        let mem = filled_backend(Layout::Monolithic, 2);
+        for v in 0..2u64 {
+            let name = names::data(v);
+            let mut bytes = mem.get(&name).unwrap();
+            bytes[20] ^= 0xFF;
+            mem.put(&name, &bytes).unwrap();
+        }
+        let mgr = RecoveryManager::new(mem, RecoveryConfig::default());
+        match mgr.recover_latest() {
+            Err(EngineError::Unrecoverable(report)) => {
+                assert_eq!(report.rejected_versions(), vec![1, 0]);
+                assert_eq!(report.scanned, 2);
+            }
+            other => panic!("expected Unrecoverable, got {:?}", other.map(|r| r.version)),
+        }
+    }
+
+    #[test]
+    fn max_scan_bounds_the_walk() {
+        let mem = filled_backend(Layout::Monolithic, 4);
+        for v in 2..4u64 {
+            let name = names::data(v);
+            let mut bytes = mem.get(&name).unwrap();
+            bytes[9] ^= 0xFF;
+            mem.put(&name, &bytes).unwrap();
+        }
+        let mgr = RecoveryManager::new(
+            mem,
+            RecoveryConfig {
+                max_scan: 2,
+                ..Default::default()
+            },
+        );
+        // Versions 3 and 2 are corrupt and exhaust the budget; 1 would
+        // verify but is out of scan range.
+        match mgr.recover_latest() {
+            Err(EngineError::Unrecoverable(report)) => {
+                assert_eq!(report.scanned, 2);
+                assert_eq!(report.rejected_versions(), vec![3, 2]);
+            }
+            other => panic!("expected Unrecoverable, got {:?}", other.map(|r| r.version)),
+        }
+    }
+
+    #[test]
+    fn environmental_errors_abort_instead_of_degrading() {
+        /// Listing works; every get is a permission failure.
+        struct Denied(MemBackend);
+        impl StorageBackend for Denied {
+            fn put(&self, n: &str, b: &[u8]) -> Result<(), CkptError> {
+                self.0.put(n, b)
+            }
+            fn get(&self, _: &str) -> Result<Vec<u8>, CkptError> {
+                Err(CkptError::Io(std::io::Error::new(
+                    std::io::ErrorKind::PermissionDenied,
+                    "denied",
+                )))
+            }
+            fn list(&self) -> Result<Vec<String>, CkptError> {
+                self.0.list()
+            }
+            fn delete(&self, n: &str) -> Result<(), CkptError> {
+                self.0.delete(n)
+            }
+            fn label(&self) -> String {
+                "denied".into()
+            }
+        }
+        let inner = MemBackend::new();
+        inner.put(&names::data(0), b"x").unwrap();
+        inner.put(&names::aux(0), b"x").unwrap();
+        let mgr = RecoveryManager::new(Arc::new(Denied(inner)), RecoveryConfig::default());
+        match mgr.recover_latest() {
+            Err(EngineError::Ckpt(CkptError::Io(e))) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::PermissionDenied)
+            }
+            other => panic!(
+                "expected the permission error, got {:?}",
+                other.map(|r| r.version)
+            ),
+        }
+    }
+}

@@ -4,9 +4,21 @@
 //! elements of a restored checkpoint must leave the application's
 //! verification passing, while corrupting *critical* elements must not.
 //! This crate runs those campaigns systematically.
+//!
+//! Two layers of fault live here:
+//!
+//! * [`campaign`] / [`corruption`] — damage restored *values* in memory
+//!   to falsify the criticality maps (the paper's §IV.C experiment);
+//! * [`storage`] — damage checkpoint *objects* at rest (truncated
+//!   shards, flipped payload bytes, deleted delta bases, missing commit
+//!   markers) to exercise the recovery pipeline's corruption fallback.
+
+#![warn(missing_docs)]
 
 pub mod campaign;
 pub mod corruption;
+pub mod storage;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Target};
 pub use corruption::Corruption;
+pub use storage::{StorageFault, StorageScenario};

@@ -15,6 +15,7 @@
 // what the paper's criticality results are functions of; don't suggest
 // iterator rewrites that would restructure them.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 pub mod bt;
 pub mod cg;
@@ -36,8 +37,8 @@ pub use is::Is;
 pub use lu::Lu;
 pub use mg::Mg;
 pub use pipeline::{
-    burn_in, burn_in_delta, burn_in_suite, burn_in_suite_mini, perturb_localized, BurnInReport,
-    DeltaBurnInReport,
+    burn_in, burn_in_delta, burn_in_recover, burn_in_suite, burn_in_suite_mini, perturb_localized,
+    perturb_uncritical, BurnInReport, DeltaBurnInReport, RecoveryBurnInReport,
 };
 pub use sp::Sp;
 

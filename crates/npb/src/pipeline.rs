@@ -9,13 +9,20 @@
 //! epoch's serialization and storage, exactly the overlap the engine
 //! exists for — and the run ends with a restart-verification from the
 //! newest engine-written checkpoint.
+//!
+//! [`burn_in_recover`] closes the lifecycle loop: burn in, damage the
+//! newest checkpoint on the storage tier
+//! ([`scrutiny_faultinj::StorageScenario`]), recover the newest version
+//! that still verifies, and restart the benchmark trajectory from it.
 
 use crate::{Cg, Ft};
 use scrutiny_core::restart::capture_state;
 use scrutiny_core::{
-    checkpoint_restart_cycle_async, submit_checkpoint, AnalysisReport, EngineError, EngineHandle,
-    Policy, RestartConfig, ScrutinyApp, VarData, VarRecord,
+    checkpoint_recover_cycle_async, checkpoint_restart_cycle_async, submit_checkpoint,
+    AnalysisReport, EngineError, EngineHandle, Policy, RecoveryConfig, RestartConfig, ScrutinyApp,
+    VarData, VarRecord,
 };
+use scrutiny_faultinj::StorageScenario;
 
 /// Outcome of one [`burn_in`] run.
 #[derive(Clone, Debug)]
@@ -179,6 +186,122 @@ pub fn burn_in_delta(
     })
 }
 
+/// Outcome of one [`burn_in_recover`] run.
+#[derive(Clone, Debug)]
+pub struct RecoveryBurnInReport {
+    /// Benchmark name (from its spec).
+    pub app: String,
+    /// Checkpoint epochs submitted before the fault — all resolved.
+    pub epochs: usize,
+    /// Name of the object the storage fault damaged.
+    pub damaged: String,
+    /// Newest version on the backend when the fault struck.
+    pub newest_version: u64,
+    /// Version the recovery scan actually restored.
+    pub recovered_version: u64,
+    /// Versions the scan rejected (newest first), from the
+    /// [`scrutiny_core::RecoveryReport`].
+    pub rejected_versions: Vec<u64>,
+    /// Did the restart from the recovered checkpoint reproduce the
+    /// golden output within the app's tolerance?
+    pub verified: bool,
+    /// Relative error of that restart.
+    pub rel_err: f64,
+}
+
+/// Perturb only elements the analysis proved **uncritical** (per-epoch
+/// moving window, like [`perturb_localized`]). This is the §IV.C
+/// argument driving the recovery burn-in: epochs differ on disk (real
+/// dirty pages under `Policy::Full`), yet *any* epoch restores a
+/// verifying state, because the critical elements are bit-identical
+/// across all of them — so falling back to an older checkpoint after
+/// corruption must still pass verification.
+pub fn perturb_uncritical(vars: &mut [VarRecord], analysis: &AnalysisReport, epoch: usize) {
+    for (var, crit) in vars.iter_mut().zip(&analysis.vars) {
+        let n = var.data.len();
+        if n == 0 {
+            continue;
+        }
+        let window = (n / 16).max(1);
+        let start = (epoch * window) % n;
+        let end = (start + window).min(n);
+        let in_window = |i: usize| i >= start && i < end;
+        match &mut var.data {
+            VarData::F64(v) => {
+                for i in crit.value_map.zeros().filter(|&i| in_window(i)) {
+                    v[i] += 1e-3 * (epoch as f64 + 1.0);
+                }
+            }
+            VarData::C128(v) => {
+                for i in crit.value_map.zeros().filter(|&i| in_window(i)) {
+                    v[i].0 += 1e-3 * (epoch as f64 + 1.0);
+                }
+            }
+            // Integer control state is analyzed by liveness, not AD;
+            // leave it alone.
+            VarData::I64(_) => {}
+        }
+    }
+}
+
+/// Burn-in → corrupt → recover → verify: run `epochs` checkpoint
+/// periods through `engine` (each epoch perturbs a fresh window of
+/// *uncritical* elements via [`perturb_uncritical`], so epochs differ
+/// on disk while every epoch's critical state stays bit-identical),
+/// inject `scenario` against the newest version on the backend, then
+/// recover the newest fully-verifiable checkpoint and restart-verify
+/// the resumed trajectory from it. The report names the damaged object,
+/// the rejected versions, and the version the run actually resumed
+/// from.
+pub fn burn_in_recover(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    engine: &EngineHandle,
+    epochs: usize,
+    policy: Policy,
+    scenario: StorageScenario,
+) -> Result<RecoveryBurnInReport, EngineError> {
+    if epochs < 2 {
+        return Err(EngineError::InvalidConfig(
+            "a recovery burn-in needs a victim epoch and at least one fallback epoch".into(),
+        ));
+    }
+    let mut vars = capture_state(app);
+    let plans = scrutiny_core::plan::plans_for(analysis, policy);
+    let mut newest = 0;
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            perturb_uncritical(&mut vars, analysis, epoch);
+        }
+        let ticket = engine.submit(&vars, &plans)?;
+        newest = ticket.version();
+        engine.wait(ticket)?;
+    }
+    let damaged = scenario
+        .inject(engine.backend().as_ref(), newest)
+        .map_err(EngineError::from)?;
+    let cfg = RestartConfig {
+        policy,
+        ..Default::default()
+    };
+    let report =
+        checkpoint_recover_cycle_async(app, analysis, &cfg, engine, &RecoveryConfig::default())?;
+    let recovered_version = report
+        .recovery
+        .recovered
+        .expect("checkpoint_recover_cycle_async succeeded, so a version recovered");
+    Ok(RecoveryBurnInReport {
+        app: app.spec().name,
+        epochs,
+        damaged,
+        newest_version: newest,
+        recovered_version,
+        rejected_versions: report.recovery.rejected_versions(),
+        verified: report.restart.verified,
+        rel_err: report.restart.rel_err,
+    })
+}
+
 /// The two benchmarks wired into the engine burn-in by default: CG (the
 /// classic pruned float vector + integer control state) and FT (the large
 /// complex-typed state that exercises sharded serialization hardest).
@@ -233,6 +356,73 @@ mod tests {
                 );
             }
             assert_eq!(engine.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn recovery_burn_in_survives_a_flipped_byte_in_a_delta_chain() {
+        use scrutiny_core::DeltaPolicy;
+        for app in burn_in_suite_mini() {
+            let analysis = scrutinize(app.as_ref()).unwrap();
+            let engine = EngineHandle::open(
+                Arc::new(MemBackend::new()),
+                EngineConfig {
+                    delta: Some(DeltaPolicy {
+                        page_bytes: 128,
+                        rebase_every: 3,
+                    }),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            // Full plans so the uncritical perturbations produce real
+            // dirty pages between epochs.
+            let report = burn_in_recover(
+                app.as_ref(),
+                &analysis,
+                &engine,
+                4,
+                Policy::Full,
+                StorageScenario::FlippedPayloadByte,
+            )
+            .unwrap();
+            assert_eq!(report.newest_version, 3);
+            assert_eq!(
+                report.recovered_version, 2,
+                "{}: expected fallback to the previous epoch",
+                report.app
+            );
+            assert_eq!(report.rejected_versions, vec![3], "{}", report.app);
+            assert!(
+                report.verified,
+                "{}: resumed trajectory failed verification (rel err {})",
+                report.app, report.rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_burn_in_survives_a_missing_commit_marker() {
+        for app in burn_in_suite_mini() {
+            let analysis = scrutinize(app.as_ref()).unwrap();
+            let engine =
+                EngineHandle::open(Arc::new(MemBackend::new()), EngineConfig::default()).unwrap();
+            let report = burn_in_recover(
+                app.as_ref(),
+                &analysis,
+                &engine,
+                3,
+                Policy::PrunedValue,
+                StorageScenario::MissingCommitMarker,
+            )
+            .unwrap();
+            assert_eq!(report.recovered_version, 1, "{}", report.app);
+            assert_eq!(report.rejected_versions, vec![2], "{}", report.app);
+            assert!(
+                report.verified,
+                "{}: resumed trajectory failed verification (rel err {})",
+                report.app, report.rel_err
+            );
         }
     }
 
