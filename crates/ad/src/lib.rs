@@ -39,6 +39,10 @@
 //!   to the output, even if the derivative value cancels to zero. This is
 //!   the cheaper comparator used by the ablation experiments; it sweeps
 //!   per-segment bitsets through the same frontier machinery.
+//! * [`datadep`] — the structural bits packaged as a full static analyzer
+//!   ([`Tape::datadep`]): liveness plus def-use bits and explicit witness
+//!   paths, the AutoCheck-style second opinion that the differential
+//!   harness in `core::analysis` cross-checks the value sweep against.
 //!
 //! ## Example: the paper's Figure 1 workflow
 //!
@@ -60,6 +64,7 @@
 
 pub mod adj;
 pub mod cplx;
+pub mod datadep;
 pub mod dual;
 pub mod error;
 pub mod real;
@@ -69,6 +74,7 @@ pub mod tape;
 
 pub use adj::Adj;
 pub use cplx::Cplx;
+pub use datadep::{DataDep, Witness};
 pub use dual::Dual;
 pub use error::AdError;
 pub use real::Real;

@@ -13,6 +13,7 @@
 //! exhausted. The segments are also the unit of parallelism for the
 //! reverse sweeps.
 
+use crate::datadep::{self, DataDep};
 use crate::error::AdError;
 use crate::segment::{SegmentStore, DEFAULT_NODE_LIMIT, DEFAULT_SEGMENT_LEN, NODE_BYTES};
 use crate::sweep::{self, Gradient, SweepConfig, SweepStats};
@@ -244,6 +245,27 @@ impl Tape {
     pub fn reachable_serial(&self, output: crate::Adj) -> Result<Vec<bool>, AdError> {
         self.reachable_sweep(output, SweepConfig::serial())
             .map(|(r, _)| r)
+    }
+
+    /// Static data-dependency analysis ([`crate::datadep`]): structural
+    /// liveness plus def-use bits and witness-path extraction, never
+    /// touching adjoint values. The AutoCheck-style second analyzer the
+    /// differential harness cross-checks [`Tape::gradient`] against.
+    ///
+    /// Same error contract as the sweeps: a constant output yields an
+    /// all-dead result, a poisoned tape [`AdError::TapeOverflow`].
+    pub fn datadep(&self, output: crate::Adj) -> Result<DataDep, AdError> {
+        self.datadep_sweep(output, SweepConfig::default())
+    }
+
+    /// Data-dependency analysis with an explicit [`SweepConfig`].
+    pub fn datadep_sweep(&self, output: crate::Adj, cfg: SweepConfig) -> Result<DataDep, AdError> {
+        datadep::analyze(self, output.index(), cfg)
+    }
+
+    /// Data-dependency analysis seeded at an explicit node index.
+    pub fn datadep_of(&self, output: u64, cfg: SweepConfig) -> Result<DataDep, AdError> {
+        datadep::analyze(self, Some(output), cfg)
     }
 }
 

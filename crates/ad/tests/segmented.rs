@@ -99,6 +99,49 @@ proptest! {
         }
     }
 
+    /// The datadep analyzer's liveness bits agree bit-for-bit with the
+    /// structural sweep they refactor, on random multi-segment tapes,
+    /// across serial and parallel configurations — and its def-use bits
+    /// honor the invariant that only consumed nodes (or the output) can
+    /// be live.
+    #[test]
+    fn datadep_agrees_with_structural_sweep_bit_for_bit(seed in 0u64..u64::MAX) {
+        let s = session(16);
+        let (_, out) = record_random(seed);
+        let tape = s.finish();
+        let reach = tape.reachable_serial(out).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let cfg = SweepConfig::with_threads(threads);
+            let dd = tape.datadep_sweep(out, cfg).unwrap();
+            prop_assert_eq!(&reach, dd.live_bits());
+            prop_assert_eq!(dd.seed(), out.index());
+            for i in 0..tape.len() as u64 {
+                // An unconsumed node can only be live if it is the output.
+                if dd.live(i) && !dd.used(i) {
+                    prop_assert_eq!(Some(i), out.index());
+                }
+            }
+        }
+        // Every live node has a witness path ending at the output; every
+        // dead node has none. (Capped to keep the property cheap.)
+        let dd = tape.datadep_sweep(out, SweepConfig::serial()).unwrap();
+        for i in (0..tape.len() as u64).take(64) {
+            match dd.witness_path(&tape, i, 8) {
+                Some(w) => {
+                    prop_assert!(dd.live(i));
+                    prop_assert_eq!(w.nodes[0], i);
+                    if w.nodes.len() < 8 {
+                        prop_assert_eq!(*w.nodes.last().unwrap(), out.index().unwrap());
+                        prop_assert_eq!(w.hops, w.nodes.len() - 1);
+                    } else {
+                        prop_assert!(w.hops >= w.nodes.len() - 1);
+                    }
+                }
+                None => prop_assert!(!dd.live(i)),
+            }
+        }
+    }
+
     /// Segmentation itself must not change the sweep: the same recording
     /// split into tiny segments sweeps to the same bits as one monolithic
     /// segment (the seed layout).
@@ -135,12 +178,16 @@ fn pad_to_offset(s: &TapeSession, x: Adj, offset: usize) {
 fn check_all_configs(tape: &scrutiny_ad::Tape, out: Adj) {
     let serial = tape.gradient_serial(out).unwrap();
     let reach = tape.reachable_serial(out).unwrap();
+    let dd = tape.datadep_sweep(out, SweepConfig::serial()).unwrap();
+    assert_eq!(dd.live_bits(), &reach[..]);
     for threads in [2usize, 4] {
         let cfg = SweepConfig::with_threads(threads);
         let (par, _) = tape.gradient_sweep(out, cfg).unwrap();
         assert_eq!(grad_bits(&serial), grad_bits(&par));
         let (rpar, _) = tape.reachable_sweep(out, cfg).unwrap();
         assert_eq!(reach, rpar);
+        let dd_par = tape.datadep_sweep(out, cfg).unwrap();
+        assert_eq!(dd_par.live_bits(), &reach[..]);
     }
 }
 
@@ -213,6 +260,42 @@ fn constant_output_on_multi_segment_tape() {
     assert_eq!(g.len(), tape.len());
     assert!((0..g.len()).all(|i| g.of_node(i as u64) == 0.0));
     assert!(tape.reachable(c).unwrap().iter().all(|&b| !b));
+    let dd = tape.datadep(c).unwrap();
+    assert_eq!(dd.live_count(), 0);
+    assert_eq!(dd.seed(), None);
+}
+
+#[test]
+fn datadep_cross_segment_fan_in_is_live_with_deep_witness() {
+    // The fan-in shape from `cross_segment_parents_accumulate_in_serial_order`:
+    // one leaf in segment 0 consumed by every later segment. The leaf must
+    // be live under every thread count, and its greedy witness must route
+    // through the *first* live consumer, crossing all segments to the out.
+    let s = session(8);
+    let x = Adj::leaf(1.1);
+    let mut out = Adj::constant(0.0);
+    for i in 0..120 {
+        out += x * (0.1 + i as f64 * 0.37);
+    }
+    let tape = s.finish();
+    assert!(tape.segment_count() > 20);
+    let reach = tape.reachable_serial(out).unwrap();
+    for threads in [1usize, 2, 4] {
+        let dd = tape
+            .datadep_sweep(out, SweepConfig::with_threads(threads))
+            .unwrap();
+        assert_eq!(dd.live_bits(), &reach[..]);
+        assert!(dd.live(x.index().unwrap()));
+        let w = dd
+            .witness_path(&tape, x.index().unwrap(), usize::MAX)
+            .unwrap();
+        assert_eq!(w.nodes[0], x.index().unwrap());
+        assert_eq!(*w.nodes.last().unwrap(), out.index().unwrap());
+        // Path edges are genuine parent links in increasing id order.
+        for pair in w.nodes.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
 }
 
 #[test]
@@ -231,6 +314,10 @@ fn overflow_surfaces_as_typed_error_not_abort() {
     assert!(tape.overflowed());
     assert_eq!(
         tape.gradient(y).unwrap_err(),
+        AdError::TapeOverflow { limit: 20 }
+    );
+    assert_eq!(
+        tape.datadep(y).unwrap_err(),
         AdError::TapeOverflow { limit: 20 }
     );
 }

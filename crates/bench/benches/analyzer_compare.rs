@@ -1,0 +1,185 @@
+//! Analyzer comparison bench: what the static data-dependency analyzer
+//! costs next to the AD value sweep it cross-checks, at both layers.
+//!
+//! * **Sweep layer** — on one recorded tape: `gradient_sweep` (8 bytes of
+//!   adjoint per node) vs `datadep_sweep` (reachability bits plus the
+//!   def-use pass) vs the bare `reachable_sweep` both share.
+//! * **Pipeline layer** — full `scrutinize_with` under `Analyzer::Ad`,
+//!   `Analyzer::DataDep`, and `Analyzer::Both` (three sweeps in one
+//!   thread scope), so the cross-check's end-to-end overhead is visible.
+//!
+//! The explicit section prints measured medians: Both should cost close
+//! to max(Ad, DataDep) + record, not their sum, because the sweeps run
+//! concurrently.
+//!
+//! Run with: `cargo bench -p scrutiny-bench --bench analyzer_compare`
+
+use criterion::{criterion_group, Criterion};
+use scrutiny_ad::{SweepConfig, Tape, TapeConfig, TapeSession};
+use scrutiny_core::{
+    scrutinize_differential, scrutinize_with, Analyzer, LeafSite, ScrutinyApp, ScrutinyOptions,
+};
+use scrutiny_npb::{Bt, Cg};
+use std::time::Instant;
+
+/// Record `app` once and return its tape plus the output node.
+fn record(app: &dyn ScrutinyApp, segment_len: usize) -> (scrutiny_ad::Adj, Tape) {
+    let s = TapeSession::with_config(TapeConfig {
+        capacity: app.tape_capacity_hint(),
+        segment_len,
+        ..TapeConfig::default()
+    });
+    let mut site = LeafSite::new();
+    let out = app.run_ad(&mut site);
+    (out.output, s.finish())
+}
+
+fn opts(analyzer: Analyzer) -> ScrutinyOptions {
+    ScrutinyOptions {
+        analyzer,
+        ..ScrutinyOptions::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let bt = Bt::mini();
+    let (out, tape) = record(&bt, 1 << 14);
+    let mut g = c.benchmark_group("analyzer_compare");
+    g.sample_size(10);
+    g.bench_function("bt_mini_value_sweep", |b| {
+        b.iter(|| {
+            tape.gradient_sweep(out, SweepConfig::default())
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+    g.bench_function("bt_mini_reach_sweep", |b| {
+        b.iter(|| {
+            tape.reachable_sweep(out, SweepConfig::default())
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+    g.bench_function("bt_mini_datadep_sweep", |b| {
+        b.iter(|| {
+            tape.datadep_sweep(out, SweepConfig::default())
+                .unwrap()
+                .live_count()
+        })
+    });
+    let cg = Cg::mini();
+    g.bench_function("cg_mini_scrutinize_ad", |b| {
+        b.iter(|| {
+            scrutinize_with(&cg, &opts(Analyzer::Ad))
+                .unwrap()
+                .total_uncritical()
+        })
+    });
+    g.bench_function("cg_mini_scrutinize_datadep", |b| {
+        b.iter(|| {
+            scrutinize_with(&cg, &opts(Analyzer::DataDep))
+                .unwrap()
+                .total_uncritical()
+        })
+    });
+    g.bench_function("cg_mini_scrutinize_both", |b| {
+        b.iter(|| {
+            scrutinize_with(&cg, &opts(Analyzer::Both))
+                .unwrap()
+                .total_uncritical()
+        })
+    });
+    g.bench_function("cg_mini_differential", |b| {
+        b.iter(|| {
+            scrutinize_differential(&cg, &opts(Analyzer::Both))
+                .unwrap()
+                .disagreements
+                .len()
+        })
+    });
+    g.finish();
+}
+
+/// Median-of-N wall-clock seconds for `f`.
+fn measure<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The explicit measured comparison: per-sweep cost on a shared tape and
+/// the end-to-end cost of each backend, including the concurrent Both.
+fn report_analyzer_costs() {
+    let bt = Bt::mini();
+    let (out, tape) = record(&bt, 1 << 14);
+    let nodes = tape.len();
+    let t_value = measure(5, || {
+        tape.gradient_sweep(out, SweepConfig::default())
+            .unwrap()
+            .0
+            .len()
+    });
+    let t_reach = measure(5, || {
+        tape.reachable_sweep(out, SweepConfig::default())
+            .unwrap()
+            .0
+            .len()
+    });
+    let t_dd = measure(5, || {
+        tape.datadep_sweep(out, SweepConfig::default())
+            .unwrap()
+            .live_count()
+    });
+    println!("\n== analyzer sweep cost (BT mini, {nodes} nodes, shared tape) ==");
+    println!(
+        "value sweep {:>8.2} ms   reach sweep {:>8.2} ms   datadep (reach + def-use) {:>8.2} ms",
+        t_value * 1e3,
+        t_reach * 1e3,
+        t_dd * 1e3
+    );
+
+    let cg = Cg::mini();
+    let t_ad = measure(5, || {
+        scrutinize_with(&cg, &opts(Analyzer::Ad))
+            .unwrap()
+            .total_uncritical()
+    });
+    let t_sdd = measure(5, || {
+        scrutinize_with(&cg, &opts(Analyzer::DataDep))
+            .unwrap()
+            .total_uncritical()
+    });
+    let t_both = measure(5, || {
+        scrutinize_with(&cg, &opts(Analyzer::Both))
+            .unwrap()
+            .total_uncritical()
+    });
+    println!("== scrutinize backend cost (CG mini, record + sweeps) ==");
+    println!(
+        "Ad {:>8.2} ms   DataDep {:>8.2} ms   Both {:>8.2} ms   (Both / Ad = {:.2}x)",
+        t_ad * 1e3,
+        t_sdd * 1e3,
+        t_both * 1e3,
+        t_both / t_ad
+    );
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    // Skip the explicit measurement when the harness is only being
+    // enumerated (`cargo bench -- --list`, `cargo test --benches`).
+    let enumerating = std::env::args().any(|a| a == "--list" || a == "--test");
+    if !enumerating {
+        report_analyzer_costs();
+    }
+}

@@ -9,12 +9,28 @@
 //! serial seed sweep by construction. Recording failures (tape overflow)
 //! and bad sweep seeds surface as typed [`AdError`]s instead of aborting a
 //! long NPB record.
+//!
+//! Two analyzers share this front door, selected by
+//! [`ScrutinyOptions::analyzer`]:
+//!
+//! * [`Analyzer::Ad`] — the paper's method: zero adjoint ⇔ uncritical.
+//! * [`Analyzer::DataDep`] — static data-dependency scrutiny
+//!   (`scrutiny_ad::datadep`): an element is critical iff a chain of
+//!   recorded edges connects it to the output, no derivative values
+//!   consulted. It may over-approximate (mark extra elements critical) but
+//!   can never under-approximate — a non-zero adjoint only flows along
+//!   recorded edges — so its error direction is safe for checkpointing.
+//! * [`Analyzer::Both`] — run both concurrently and cross-check. The full
+//!   differential result, including a typed [`Disagreement`] list with
+//!   witness paths, comes from [`scrutinize_differential`].
 
 use crate::app::ScrutinyApp;
-use crate::site::LeafSite;
+use crate::site::{LeafRange, LeafSite};
 use crate::spec::{AppSpec, VarSpec};
 use scrutiny_ad::tape::TapeStats;
-use scrutiny_ad::{AdError, SweepConfig, SweepStats, TapeConfig, TapeSession};
+use scrutiny_ad::{
+    AdError, Adj, DataDep, SweepConfig, SweepStats, Tape, TapeConfig, TapeSession, Witness,
+};
 use scrutiny_ckpt::{Bitmap, DType, Regions};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -24,14 +40,20 @@ use std::time::Instant;
 pub struct VarCriticality {
     /// The variable's spec (name, dtype, shape).
     pub spec: VarSpec,
-    /// Value criticality: bit set ⇔ `∂output/∂element ≠ 0` (the paper's
-    /// criterion). Integer variables are control state: always critical.
+    /// Criticality under the selected analyzer's criterion: for
+    /// [`Analyzer::Ad`], bit set ⇔ `∂output/∂element ≠ 0` (the paper's
+    /// criterion); for [`Analyzer::DataDep`], bit set ⇔ structurally
+    /// live. Integer variables are control state: always critical.
     pub value_map: Bitmap,
     /// Structural criticality: bit set ⇔ a data-flow path reaches the
-    /// output (superset of `value_map`).
+    /// output (superset of `value_map`; equal to it for
+    /// [`Analyzer::DataDep`] reports, whose criterion *is* structural).
     pub structural_map: Bitmap,
     /// Per-element gradient magnitude (max over components for complex;
-    /// `+∞` for integer control state). Drives precision tiering.
+    /// `+∞` for integer control state). Drives precision tiering. The
+    /// data-dependency analyzer has no magnitudes: it reports `+∞` for
+    /// live elements and `0` for dead ones, so tiering degenerates to
+    /// full precision for everything it keeps — the safe direction.
     pub grad_mag: Vec<f64>,
 }
 
@@ -69,11 +91,30 @@ impl VarCriticality {
     }
 }
 
+/// Which analysis backend [`scrutinize_with`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Analyzer {
+    /// The paper's AD value criterion: uncritical ⇔ zero adjoint.
+    #[default]
+    Ad,
+    /// Static data-dependency scrutiny: uncritical ⇔ no recorded
+    /// data-flow path to the output. Over-approximates [`Analyzer::Ad`]
+    /// in the safe direction; needs no adjoint values (1 bit/node of
+    /// sweep state instead of 8 bytes/node).
+    DataDep,
+    /// Run both concurrently and cross-check; [`scrutinize_with`] then
+    /// returns the AD report, while [`scrutinize_differential`] exposes
+    /// both reports plus the typed disagreement list.
+    Both,
+}
+
 /// Everything the analysis learned about one application.
 #[derive(Debug)]
 pub struct AnalysisReport {
     /// The application's checkpoint spec.
     pub app: AppSpec,
+    /// The backend that produced this report's verdicts.
+    pub analyzer: Analyzer,
     /// Iteration at whose boundary the analysis checkpoint was placed.
     pub ckpt_iter: usize,
     /// Primal output value of the AD run.
@@ -81,8 +122,10 @@ pub struct AnalysisReport {
     /// Size and segmentation of the recorded tape (`bytes` is real
     /// allocated capacity; `sweep_bytes` the transient sweep memory).
     pub tape_stats: TapeStats,
-    /// What the value-gradient sweep did: segments visited, threads used,
-    /// adjoint contributions routed through cross-segment frontiers.
+    /// What the criterion sweep did: segments visited, threads used,
+    /// contributions routed through cross-segment frontiers. The value
+    /// sweep for [`Analyzer::Ad`] reports, the structural sweep for
+    /// [`Analyzer::DataDep`].
     pub sweep: SweepStats,
     /// Same, for the structural-reachability sweep.
     pub reach_sweep: SweepStats,
@@ -121,12 +164,15 @@ pub struct ScrutinyOptions {
     /// sweep parallelism; the default suits the NPB kernels.
     pub segment_len: usize,
     /// Threads per reverse sweep (`0` = one per available core, `1` =
-    /// serial). The two sweeps additionally run concurrently with each
+    /// serial). The sweeps additionally run concurrently with each
     /// other.
     pub threads: usize,
     /// Recording budget in tape nodes; exceeding it yields
     /// [`AdError::TapeOverflow`].
     pub node_limit: u64,
+    /// Analysis backend: the AD value criterion (default), the static
+    /// data-dependency analyzer, or both cross-checked.
+    pub analyzer: Analyzer,
 }
 
 impl Default for ScrutinyOptions {
@@ -137,7 +183,77 @@ impl Default for ScrutinyOptions {
             segment_len: tape.segment_len,
             threads: 0,
             node_limit: tape.node_limit,
+            analyzer: Analyzer::Ad,
         }
+    }
+}
+
+/// How one analyzer disagreement is classified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DisagreementKind {
+    /// The adjoint is exactly zero but a data-flow path reaches the
+    /// output: exact cancellation, multiplication by a tracked zero, or a
+    /// min/max loser's zero partial. The static analyzer keeps the
+    /// element; checkpoints grow but restarts stay correct — the safe
+    /// over-approximation.
+    ValueDeadStructurallyLive,
+    /// The AD sweep found a non-zero adjoint on an element the static
+    /// analyzer calls dead. Impossible by construction (adjoints flow
+    /// only along recorded edges); its presence is a bug in one analyzer,
+    /// and the differential harness asserts it never occurs.
+    AdCriticalDataDepDead,
+}
+
+/// One group of per-element verdict mismatches between the two analyzers,
+/// for a single variable and direction.
+#[derive(Clone, Debug)]
+pub struct Disagreement {
+    /// The checkpoint variable the mismatching elements belong to.
+    pub var: String,
+    /// Which way the analyzers disagree.
+    pub kind: DisagreementKind,
+    /// Element indices (within the variable) whose verdicts differ.
+    pub elems: Vec<usize>,
+    /// For structurally-live disagreements: the recorded data-flow path
+    /// that keeps the first mismatching element alive, from its leaf node
+    /// to the output. `None` when no path exists (violations).
+    pub witness: Option<Witness>,
+}
+
+/// Both analyzers' reports over one recording, plus every classified
+/// verdict mismatch. Produced by [`scrutinize_differential`].
+#[derive(Debug)]
+pub struct DifferentialReport {
+    /// The AD value-criterion report.
+    pub ad: AnalysisReport,
+    /// The static data-dependency report over the *same* tape.
+    pub datadep: AnalysisReport,
+    /// Every per-variable verdict mismatch, classified and witnessed.
+    pub disagreements: Vec<Disagreement>,
+}
+
+impl DifferentialReport {
+    /// Disagreements that violate the safety invariant (AD-critical but
+    /// datadep-dead). Always empty unless an analyzer is broken.
+    pub fn safety_violations(&self) -> Vec<&Disagreement> {
+        self.disagreements
+            .iter()
+            .filter(|d| d.kind == DisagreementKind::AdCriticalDataDepDead)
+            .collect()
+    }
+
+    /// True when datadep-critical ⊇ ad-critical holds everywhere.
+    pub fn is_safe(&self) -> bool {
+        self.safety_violations().is_empty()
+    }
+
+    /// Total elements the static analyzer keeps beyond the AD verdict.
+    pub fn over_approximated_elems(&self) -> usize {
+        self.disagreements
+            .iter()
+            .filter(|d| d.kind == DisagreementKind::ValueDeadStructurallyLive)
+            .map(|d| d.elems.len())
+            .sum()
     }
 }
 
@@ -165,14 +281,132 @@ pub fn scrutinize_with_capacity(
     )
 }
 
-/// [`scrutinize`] with full control over segmentation and sweep threads.
+/// [`scrutinize`] with full control over segmentation, sweep threads and
+/// the analysis backend.
 pub fn scrutinize_with(
     app: &dyn ScrutinyApp,
     opts: &ScrutinyOptions,
 ) -> Result<AnalysisReport, AdError> {
-    let spec = app.spec();
+    match opts.analyzer {
+        Analyzer::Both => return scrutinize_differential(app, opts).map(|d| d.ad),
+        Analyzer::Ad | Analyzer::DataDep => {}
+    }
     let t0 = Instant::now();
+    let rec = record_app(app, opts);
+    let cfg = SweepConfig {
+        threads: opts.threads,
+    };
+    match opts.analyzer {
+        Analyzer::Ad => {
+            // The two sweeps are independent; run them concurrently. Each
+            // may additionally parallelize its own frontier merging.
+            let (value_res, reach_res) = std::thread::scope(|scope| {
+                let reach = scope.spawn(|| rec.tape.reachable_sweep(rec.output, cfg));
+                let value = rec.tape.gradient_sweep(rec.output, cfg);
+                (value, reach.join().expect("structural sweep panicked"))
+            });
+            let (grads, sweep) = value_res?;
+            let (reach, reach_sweep) = reach_res?;
+            let vars = ad_vars(&rec, &grads, &reach);
+            Ok(rec.report(Analyzer::Ad, sweep, reach_sweep, vars, t0))
+        }
+        Analyzer::DataDep => {
+            let dd = rec.tape.datadep_sweep(rec.output, cfg)?;
+            let vars = datadep_vars(&rec, &dd);
+            Ok(rec.report(Analyzer::DataDep, dd.stats(), dd.stats(), vars, t0))
+        }
+        Analyzer::Both => unreachable!("dispatched above"),
+    }
+}
 
+/// Run *both* analyzers over one recording (value, reachability and
+/// datadep sweeps concurrently in one scope) and classify every verdict
+/// mismatch into a typed, witnessed [`Disagreement`].
+pub fn scrutinize_differential(
+    app: &dyn ScrutinyApp,
+    opts: &ScrutinyOptions,
+) -> Result<DifferentialReport, AdError> {
+    let t0 = Instant::now();
+    let rec = record_app(app, opts);
+    let cfg = SweepConfig {
+        threads: opts.threads,
+    };
+    let (value_res, reach_res, dd_res) = std::thread::scope(|scope| {
+        let reach = scope.spawn(|| rec.tape.reachable_sweep(rec.output, cfg));
+        let dd = scope.spawn(|| rec.tape.datadep_sweep(rec.output, cfg));
+        let value = rec.tape.gradient_sweep(rec.output, cfg);
+        (
+            value,
+            reach.join().expect("structural sweep panicked"),
+            dd.join().expect("datadep sweep panicked"),
+        )
+    });
+    let (grads, sweep) = value_res?;
+    let (reach, reach_sweep) = reach_res?;
+    let dd = dd_res?;
+
+    let ad_vars = ad_vars(&rec, &grads, &reach);
+    let dd_vars = datadep_vars(&rec, &dd);
+    let disagreements = classify_disagreements(&rec, &ad_vars, &dd_vars, &dd);
+
+    let datadep = rec.report(Analyzer::DataDep, dd.stats(), dd.stats(), dd_vars, t0);
+    let ad = rec.report(Analyzer::Ad, sweep, reach_sweep, ad_vars, t0);
+    Ok(DifferentialReport {
+        ad,
+        datadep,
+        disagreements,
+    })
+}
+
+/// Maximum witness-path nodes attached to a disagreement; the hop count
+/// stays exact beyond it.
+const WITNESS_MAX_NODES: usize = 16;
+
+/// One finished recording, before any sweep interpretation.
+struct Recorded {
+    spec: AppSpec,
+    ckpt_iter: usize,
+    tape: Tape,
+    output: Adj,
+    ranges: Vec<LeafRange>,
+}
+
+impl Recorded {
+    /// Interpret one analyzer's sweep results as an [`AnalysisReport`]
+    /// over this recording. Borrowing lets the differential path build
+    /// two reports over the same tape.
+    fn report(
+        &self,
+        analyzer: Analyzer,
+        sweep: SweepStats,
+        reach_sweep: SweepStats,
+        vars: Vec<VarCriticality>,
+        t0: Instant,
+    ) -> AnalysisReport {
+        let by_name = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.spec.name.clone(), i))
+            .collect();
+        AnalysisReport {
+            app: self.spec.clone(),
+            analyzer,
+            ckpt_iter: self.ckpt_iter,
+            output_value: self.output.value(),
+            tape_stats: self.tape.stats(),
+            sweep,
+            reach_sweep,
+            analysis_seconds: t0.elapsed().as_secs_f64(),
+            vars,
+            by_name,
+        }
+    }
+}
+
+/// Run the application once under AD with leaves injected at the
+/// checkpoint boundary.
+fn record_app(app: &dyn ScrutinyApp, opts: &ScrutinyOptions) -> Recorded {
+    let spec = app.spec();
     let session = TapeSession::with_config(TapeConfig {
         capacity: opts.capacity.unwrap_or_else(|| app.tape_capacity_hint()),
         segment_len: opts.segment_len,
@@ -191,21 +425,6 @@ pub fn scrutinize_with(
         site.ranges.len(),
         spec.vars.len()
     );
-
-    // The two sweeps are independent; run them concurrently. Each may
-    // additionally parallelize its own frontier merging.
-    let cfg = SweepConfig {
-        threads: opts.threads,
-    };
-    let (value_res, reach_res) = std::thread::scope(|scope| {
-        let reach = scope.spawn(|| tape.reachable_sweep(outcome.output, cfg));
-        let value = tape.gradient_sweep(outcome.output, cfg);
-        (value, reach.join().expect("structural sweep panicked"))
-    });
-    let (grads, sweep) = value_res?;
-    let (reach, reach_sweep) = reach_res?;
-
-    let mut vars = Vec::with_capacity(spec.vars.len());
     for (vspec, range) in spec.vars.iter().zip(&site.ranges) {
         assert_eq!(
             vspec.elems(),
@@ -215,6 +434,29 @@ pub fn scrutinize_with(
             vspec.elems(),
             range.elems
         );
+    }
+    Recorded {
+        spec,
+        ckpt_iter,
+        tape,
+        output: outcome.output,
+        ranges: site.ranges,
+    }
+}
+
+/// Build the per-variable maps from per-node predicates, shared by both
+/// analyzers: `value_bit`/`struct_bit`/`magnitude` are evaluated on each
+/// element's leaf node(s); complex elements OR the bits and max the
+/// magnitudes of their two components.
+fn classify_vars(
+    spec: &AppSpec,
+    ranges: &[LeafRange],
+    mut value_bit: impl FnMut(u64) -> bool,
+    mut struct_bit: impl FnMut(u64) -> bool,
+    mut magnitude: impl FnMut(u64) -> f64,
+) -> Vec<VarCriticality> {
+    let mut vars = Vec::with_capacity(spec.vars.len());
+    for (vspec, range) in spec.vars.iter().zip(ranges) {
         let n = range.elems;
         let (value_map, structural_map, grad_mag) = match vspec.dtype {
             DType::I64 => {
@@ -223,35 +465,33 @@ pub fn scrutinize_with(
                 (Bitmap::full(n), Bitmap::full(n), vec![f64::INFINITY; n])
             }
             DType::F64 => {
-                let start = range.start as usize;
                 let mut vm = Bitmap::new(n);
                 let mut sm = Bitmap::new(n);
                 let mut gm = vec![0.0; n];
-                for i in 0..n {
-                    let g = grads.of_node((start + i) as u64);
-                    gm[i] = g.abs();
-                    if g != 0.0 {
+                for (i, g) in gm.iter_mut().enumerate() {
+                    let node = range.start + i as u64;
+                    *g = magnitude(node);
+                    if value_bit(node) {
                         vm.set(i, true);
                     }
-                    if reach[start + i] {
+                    if struct_bit(node) {
                         sm.set(i, true);
                     }
                 }
                 (vm, sm, gm)
             }
             DType::C128 => {
-                let start = range.start as usize;
                 let mut vm = Bitmap::new(n);
                 let mut sm = Bitmap::new(n);
                 let mut gm = vec![0.0; n];
-                for i in 0..n {
-                    let gre = grads.of_node((start + 2 * i) as u64);
-                    let gim = grads.of_node((start + 2 * i + 1) as u64);
-                    gm[i] = gre.abs().max(gim.abs());
-                    if gre != 0.0 || gim != 0.0 {
+                for (i, g) in gm.iter_mut().enumerate() {
+                    let re = range.start + 2 * i as u64;
+                    let im = re + 1;
+                    *g = magnitude(re).max(magnitude(im));
+                    if value_bit(re) || value_bit(im) {
                         vm.set(i, true);
                     }
-                    if reach[start + 2 * i] || reach[start + 2 * i + 1] {
+                    if struct_bit(re) || struct_bit(im) {
                         sm.set(i, true);
                     }
                 }
@@ -265,23 +505,90 @@ pub fn scrutinize_with(
             grad_mag,
         });
     }
+    vars
+}
 
-    let by_name = vars
-        .iter()
-        .enumerate()
-        .map(|(i, v)| (v.spec.name.clone(), i))
-        .collect();
-    Ok(AnalysisReport {
-        app: spec,
-        ckpt_iter,
-        output_value: outcome.output.value(),
-        tape_stats: tape.stats(),
-        sweep,
-        reach_sweep,
-        analysis_seconds: t0.elapsed().as_secs_f64(),
-        vars,
-        by_name,
-    })
+/// AD verdicts: value bit from the adjoint, structural bit from
+/// reachability, magnitude from |adjoint|.
+fn ad_vars(rec: &Recorded, grads: &scrutiny_ad::Gradient, reach: &[bool]) -> Vec<VarCriticality> {
+    classify_vars(
+        &rec.spec,
+        &rec.ranges,
+        |n| grads.of_node(n) != 0.0,
+        |n| reach[n as usize],
+        |n| grads.of_node(n).abs(),
+    )
+}
+
+/// Data-dependency verdicts: liveness is both the value criterion and the
+/// structural map; magnitudes are `+∞` for live elements (no adjoints).
+fn datadep_vars(rec: &Recorded, dd: &DataDep) -> Vec<VarCriticality> {
+    classify_vars(
+        &rec.spec,
+        &rec.ranges,
+        |n| dd.live(n),
+        |n| dd.live(n),
+        |n| if dd.live(n) { f64::INFINITY } else { 0.0 },
+    )
+}
+
+/// Compare the two analyzers' `value_map`s and group every differing
+/// element into a per-variable, per-direction [`Disagreement`], attaching
+/// a witness path for the first structurally-live element of each group.
+fn classify_disagreements(
+    rec: &Recorded,
+    ad: &[VarCriticality],
+    dd_vars: &[VarCriticality],
+    dd: &DataDep,
+) -> Vec<Disagreement> {
+    let mut out = Vec::new();
+    for ((a, d), range) in ad.iter().zip(dd_vars).zip(&rec.ranges) {
+        let mut over = Vec::new();
+        let mut viol = Vec::new();
+        for i in d.value_map.diff_indices(&a.value_map) {
+            if d.value_map.get(i) {
+                over.push(i);
+            } else {
+                viol.push(i);
+            }
+        }
+        if let Some(&first) = over.first() {
+            let witness = live_leaf_node(range, first, dd)
+                .and_then(|node| dd.witness_path(&rec.tape, node, WITNESS_MAX_NODES));
+            out.push(Disagreement {
+                var: a.spec.name.clone(),
+                kind: DisagreementKind::ValueDeadStructurallyLive,
+                elems: over,
+                witness,
+            });
+        }
+        if !viol.is_empty() {
+            out.push(Disagreement {
+                var: a.spec.name.clone(),
+                kind: DisagreementKind::AdCriticalDataDepDead,
+                elems: viol,
+                witness: None,
+            });
+        }
+    }
+    out
+}
+
+/// The live leaf node backing element `i` of a variable (for complex
+/// elements, whichever component is live).
+fn live_leaf_node(range: &LeafRange, i: usize, dd: &DataDep) -> Option<u64> {
+    match range.per_elem {
+        1 => Some(range.start + i as u64),
+        2 => {
+            let re = range.start + 2 * i as u64;
+            if dd.live(re) {
+                Some(re)
+            } else {
+                Some(re + 1)
+            }
+        }
+        _ => None, // integer control state records no leaves
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +600,7 @@ mod tests {
     fn heat1d_criticality_matches_construction() {
         let app = Heat1d::new(16, 8, 4);
         let report = scrutinize(&app).unwrap();
+        assert_eq!(report.analyzer, Analyzer::Ad);
         // temp: interior + both boundary cells read; the 2 tail pad cells
         // are never read.
         let temp = report.var("temp").unwrap();
@@ -389,14 +697,84 @@ mod tests {
     #[test]
     fn tape_overflow_is_an_error_not_an_abort() {
         let app = Heat1d::new(16, 8, 4);
-        let err = scrutinize_with(
+        for analyzer in [Analyzer::Ad, Analyzer::DataDep, Analyzer::Both] {
+            let err = scrutinize_with(
+                &app,
+                &ScrutinyOptions {
+                    node_limit: 100,
+                    analyzer,
+                    ..ScrutinyOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, AdError::TapeOverflow { limit: 100 });
+        }
+    }
+
+    #[test]
+    fn datadep_report_equals_ad_structural_map() {
+        let app = Heat1d::new(16, 8, 4);
+        let ad = scrutinize(&app).unwrap();
+        let dd = scrutinize_with(
             &app,
             &ScrutinyOptions {
-                node_limit: 100,
+                analyzer: Analyzer::DataDep,
                 ..ScrutinyOptions::default()
             },
         )
-        .unwrap_err();
-        assert_eq!(err, AdError::TapeOverflow { limit: 100 });
+        .unwrap();
+        assert_eq!(dd.analyzer, Analyzer::DataDep);
+        for (va, vd) in ad.vars.iter().zip(&dd.vars) {
+            // The datadep criterion is exactly the structural map the AD
+            // report computes as its second opinion.
+            assert_eq!(vd.value_map, va.structural_map, "{}", va.spec.name);
+            assert_eq!(vd.structural_map, vd.value_map);
+            assert!(vd.cancellation_only().is_empty());
+            // Magnitudes are ∞ on live elements, 0 on dead ones.
+            for i in 0..vd.total() {
+                let expect = if vd.value_map.get(i) {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                assert_eq!(vd.grad_mag[i], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn differential_report_cross_checks_heat1d() {
+        let app = Heat1d::new(16, 8, 4);
+        let diff = scrutinize_differential(&app, &ScrutinyOptions::default()).unwrap();
+        assert!(diff.is_safe());
+        assert_eq!(diff.ad.analyzer, Analyzer::Ad);
+        assert_eq!(diff.datadep.analyzer, Analyzer::DataDep);
+        // Heat1d's dataflow has no cancellation: the analyzers agree
+        // exactly, so there is nothing to disagree about.
+        assert!(diff.disagreements.is_empty());
+        assert_eq!(diff.over_approximated_elems(), 0);
+        // Both reports describe the same recording.
+        assert_eq!(diff.ad.tape_stats.nodes, diff.datadep.tape_stats.nodes);
+        assert_eq!(diff.ad.ckpt_iter, diff.datadep.ckpt_iter);
+        assert_eq!(diff.ad.output_value, diff.datadep.output_value);
+    }
+
+    #[test]
+    fn analyzer_both_returns_the_ad_report() {
+        let app = Heat1d::new(16, 8, 4);
+        let base = scrutinize(&app).unwrap();
+        let both = scrutinize_with(
+            &app,
+            &ScrutinyOptions {
+                analyzer: Analyzer::Both,
+                ..ScrutinyOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(both.analyzer, Analyzer::Ad);
+        for (va, vb) in base.vars.iter().zip(&both.vars) {
+            assert_eq!(va.value_map, vb.value_map);
+            assert_eq!(va.structural_map, vb.structural_map);
+        }
     }
 }

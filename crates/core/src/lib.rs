@@ -11,7 +11,11 @@
 //!    each checkpointed element into a tape leaf at the checkpoint
 //!    boundary; one reverse sweep yields `∂output/∂element` for all of
 //!    them. Zero derivative ⇒ *uncritical* (paper §III.A). A structural
-//!    reachability sweep provides a second, value-independent criterion.
+//!    reachability sweep provides a second, value-independent criterion —
+//!    available as a full static analyzer backend
+//!    ([`Analyzer::DataDep`]), cross-checked against the AD verdict by
+//!    [`scrutinize_differential`], which classifies every mismatch into a
+//!    typed [`Disagreement`] with a witness data-flow path.
 //! 2. **Plans** storage ([`plan::plans_for`]): criticality bitmaps become
 //!    run-length regions (the auxiliary file), optionally precision-tiered
 //!    by gradient magnitude (paper §VII future work).
@@ -67,8 +71,8 @@ pub mod spec;
 pub mod tiny;
 
 pub use analysis::{
-    scrutinize, scrutinize_with, scrutinize_with_capacity, AnalysisReport, ScrutinyOptions,
-    VarCriticality,
+    scrutinize, scrutinize_differential, scrutinize_with, scrutinize_with_capacity, AnalysisReport,
+    Analyzer, DifferentialReport, Disagreement, DisagreementKind, ScrutinyOptions, VarCriticality,
 };
 pub use app::{RunOutcome, ScrutinyApp};
 pub use plan::Policy;
@@ -84,7 +88,7 @@ pub use site::{CaptureSite, CkptSite, LeafSite, RestoreSite, VarRefMut};
 pub use spec::{AppSpec, VarSpec};
 
 // Re-export the scalar abstraction so applications depend on one crate.
-pub use scrutiny_ad::{AdError, Adj, Cplx, Dual, Real, SweepConfig, SweepStats};
+pub use scrutiny_ad::{AdError, Adj, Cplx, DataDep, Dual, Real, SweepConfig, SweepStats, Witness};
 pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};
 // Re-export the async checkpoint engine (and its recovery side) so
 // applications wire one crate.

@@ -139,6 +139,28 @@ pub fn run_campaign(
     report
 }
 
+/// Run one campaign per corruption model, holding target, trial count and
+/// seed fixed: the cross-product the differential harness sweeps when it
+/// checks that a verdict survives *every* corruption shape, not just the
+/// default poison.
+pub fn campaign_matrix(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    base: &CampaignConfig,
+    corruptions: &[Corruption],
+) -> Vec<(Corruption, CampaignReport)> {
+    corruptions
+        .iter()
+        .map(|&corruption| {
+            let cfg = CampaignConfig {
+                corruption,
+                ..base.clone()
+            };
+            (corruption, run_campaign(app, analysis, &cfg))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +206,28 @@ mod tests {
         };
         let report = run_campaign(&app, &analysis, &cfg);
         assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn campaign_matrix_sweeps_every_corruption_model() {
+        let app = Heat1d::new(12, 8, 4);
+        let analysis = scrutinize(&app).unwrap();
+        let base = CampaignConfig {
+            trials: 2,
+            ..Default::default()
+        };
+        let models = [
+            Corruption::Zero,
+            Corruption::BitFlip { bit: 63 },
+            Corruption::Poison(1e30),
+            Corruption::Scale(3.0),
+            Corruption::Offset(-7.5),
+        ];
+        let results = campaign_matrix(&app, &analysis, &base, &models);
+        assert_eq!(results.len(), models.len());
+        for (model, report) in &results {
+            assert_eq!(report.failed, 0, "{model:?} on uncritical elements");
+            assert_eq!(report.trials(), 2);
+        }
     }
 }

@@ -19,6 +19,6 @@ pub mod campaign;
 pub mod corruption;
 pub mod storage;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Target};
+pub use campaign::{campaign_matrix, run_campaign, CampaignConfig, CampaignReport, Target};
 pub use corruption::Corruption;
 pub use storage::{StorageFault, StorageScenario};

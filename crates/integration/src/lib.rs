@@ -1,2 +1,227 @@
-//! Integration-test host crate: the tests live in the repo-root `tests/`
-//! directory and exercise the full pipeline across all workspace crates.
+//! The differential analyzer harness: run the AD value criterion and the
+//! static data-dependency analyzer over the same recording, prove the
+//! safety invariant, and explain every disagreement.
+//!
+//! The invariant under test is directional: **datadep-critical ⊇
+//! ad-critical**. The static analyzer (`scrutiny_ad::datadep`, surfaced
+//! as `Analyzer::DataDep`) may keep elements the AD sweep would drop —
+//! that costs checkpoint bytes — but it must never drop an element the
+//! AD sweep keeps, because dropping a truly critical element breaks
+//! restarts. [`assert_safety_invariant`] checks the superset relation
+//! directly on the bitmaps (independently of the disagreement
+//! classifier) *and* checks that the classifier accounted for every
+//! differing element, so a disagreement can neither be unsafe nor
+//! unexplained. The repo-root `tests/analyzer_differential.rs` drives
+//! this over the NPB kernels; `tests/nonsmooth_pitfalls.rs` drives it
+//! over the hand-built Hückelheim-style pitfall tapes.
+
+#![warn(missing_docs)]
+
+use scrutiny_core::{
+    scrutinize_differential, AdError, AnalysisReport, DifferentialReport, DisagreementKind,
+    ScrutinyApp, ScrutinyOptions,
+};
+use scrutiny_faultinj::{campaign_matrix, CampaignConfig, CampaignReport, Corruption, Target};
+
+/// One application's differential run, labeled for failure messages.
+#[derive(Debug)]
+pub struct DifferentialCase {
+    /// Application name (e.g. `CG`).
+    pub name: String,
+    /// Problem class (e.g. `S`).
+    pub class: String,
+    /// Both analyzers' reports plus the classified disagreements.
+    pub report: DifferentialReport,
+}
+
+/// Run both analyzers over `app` and label the result.
+pub fn differential_case(
+    app: &dyn ScrutinyApp,
+    opts: &ScrutinyOptions,
+) -> Result<DifferentialCase, AdError> {
+    let report = scrutinize_differential(app, opts)?;
+    Ok(DifferentialCase {
+        name: report.ad.app.name.clone(),
+        class: report.ad.app.class.clone(),
+        report,
+    })
+}
+
+/// [`differential_case`] over a whole suite, stopping at the first
+/// recording/sweep error.
+pub fn differential_suite(
+    apps: &[Box<dyn ScrutinyApp>],
+    opts: &ScrutinyOptions,
+) -> Result<Vec<DifferentialCase>, AdError> {
+    apps.iter()
+        .map(|app| differential_case(app.as_ref(), opts))
+        .collect()
+}
+
+/// Assert everything the differential contract promises for one case:
+///
+/// 1. **Safety (bitmap-level):** every AD-critical element is
+///    datadep-critical, checked directly on the per-variable maps —
+///    not via the disagreement list, so a classifier bug cannot mask a
+///    violation.
+/// 2. **Safety (typed):** the classifier reported no
+///    [`DisagreementKind::AdCriticalDataDepDead`] entries.
+/// 3. **Completeness:** every element whose verdicts differ appears in
+///    exactly one disagreement group, and nothing else does.
+/// 4. **Witnesses:** every over-approximation group carries a witness
+///    data-flow path with at least one hop.
+///
+/// Panics with [`explain`]-style context on any failure.
+pub fn assert_safety_invariant(case: &DifferentialCase) {
+    let label = format!("{} class {}", case.name, case.class);
+    let rep = &case.report;
+    assert_eq!(
+        rep.ad.vars.len(),
+        rep.datadep.vars.len(),
+        "{label}: analyzer reports disagree on variable count"
+    );
+    for (va, vd) in rep.ad.vars.iter().zip(&rep.datadep.vars) {
+        let expected: Vec<usize> = vd.value_map.diff_indices(&va.value_map);
+        for &i in &expected {
+            assert!(
+                vd.value_map.get(i) && !va.value_map.get(i),
+                "{label}: {}[{i}] is AD-critical but datadep-dead — the \
+                 static analyzer under-approximated\n{}",
+                va.spec.name,
+                explain(rep)
+            );
+        }
+        let claimed: Vec<usize> = rep
+            .disagreements
+            .iter()
+            .filter(|d| d.var == va.spec.name)
+            .flat_map(|d| d.elems.iter().copied())
+            .collect();
+        assert_eq!(
+            claimed, expected,
+            "{label}: disagreement list for {} does not match the maps",
+            va.spec.name
+        );
+    }
+    assert!(rep.is_safe(), "{label}:\n{}", explain(rep));
+    for d in &rep.disagreements {
+        assert_eq!(
+            d.kind,
+            DisagreementKind::ValueDeadStructurallyLive,
+            "{label}: unexpected disagreement kind on {}",
+            d.var
+        );
+        let w = d
+            .witness
+            .as_ref()
+            .unwrap_or_else(|| panic!("{label}: {} disagreement has no witness path", d.var));
+        assert!(
+            w.hops >= 1 && !w.nodes.is_empty(),
+            "{label}: degenerate witness on {}",
+            d.var
+        );
+    }
+}
+
+/// Render every disagreement of one differential run as a named,
+/// human-readable line (one per variable × kind group), e.g.
+///
+/// ```text
+/// CG class S: 2 disagreement group(s), 12 over-approximated element(s)
+///   x: ValueDeadStructurallyLive ×12 [first elem 7, witness 5 hops: 120 -> 998 -> ...]
+/// ```
+pub fn explain(report: &DifferentialReport) -> String {
+    let mut out = format!(
+        "{} class {}: {} disagreement group(s), {} over-approximated element(s)\n",
+        report.ad.app.name,
+        report.ad.app.class,
+        report.disagreements.len(),
+        report.over_approximated_elems()
+    );
+    for d in &report.disagreements {
+        let witness = match &d.witness {
+            Some(w) => {
+                let path: Vec<String> = w.nodes.iter().map(u64::to_string).collect();
+                format!("witness {} hops: {}", w.hops, path.join(" -> "))
+            }
+            None => "no witness path".to_string(),
+        };
+        out.push_str(&format!(
+            "  {}: {:?} ×{} [first elem {}, {}]\n",
+            d.var,
+            d.kind,
+            d.elems.len(),
+            d.elems.first().copied().unwrap_or(0),
+            witness
+        ));
+    }
+    out
+}
+
+/// The corruption models the differential campaigns sweep.
+pub fn corruption_models() -> Vec<Corruption> {
+    vec![
+        Corruption::Zero,
+        Corruption::BitFlip { bit: 63 },
+        Corruption::BitFlip { bit: 1 },
+        Corruption::Poison(1e30),
+        Corruption::Scale(4.0),
+        Corruption::Offset(-3.25),
+    ]
+}
+
+/// Corrupt elements the *static* analyzer calls uncritical, across the
+/// whole corruption-model matrix, and restart-verify each trial.
+///
+/// Because datadep-uncritical ⊆ ad-uncritical, every such element has a
+/// zero adjoint and corruption must be harmless: each returned campaign
+/// must report zero failures. This is the fault-injection face of the
+/// safety invariant — the analyzer that never consulted a derivative
+/// still only ever discards restart-irrelevant bytes.
+pub fn datadep_uncritical_matrix(
+    app: &dyn ScrutinyApp,
+    datadep_report: &AnalysisReport,
+    trials: usize,
+) -> Vec<(Corruption, CampaignReport)> {
+    let base = CampaignConfig {
+        target: Target::Uncritical,
+        trials,
+        elems_per_trial: 16,
+        ..CampaignConfig::default()
+    };
+    campaign_matrix(app, datadep_report, &base, &corruption_models())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutiny_core::tiny::Heat1d;
+    use scrutiny_core::Analyzer;
+
+    #[test]
+    fn heat1d_case_is_safe_and_explained() {
+        let app = Heat1d::new(16, 8, 4);
+        let case = differential_case(&app, &ScrutinyOptions::default()).unwrap();
+        assert_safety_invariant(&case);
+        let text = explain(&case.report);
+        assert!(text.contains(&case.name), "{text}");
+        assert!(text.contains("0 over-approximated"), "{text}");
+    }
+
+    #[test]
+    fn datadep_matrix_on_heat1d_never_fails() {
+        let app = Heat1d::new(16, 10, 5);
+        let dd = scrutiny_core::scrutinize_with(
+            &app,
+            &ScrutinyOptions {
+                analyzer: Analyzer::DataDep,
+                ..ScrutinyOptions::default()
+            },
+        )
+        .unwrap();
+        for (model, report) in datadep_uncritical_matrix(&app, &dd, 2) {
+            assert_eq!(report.failed, 0, "{model:?}");
+            assert!(report.corrupted_elems > 0, "{model:?} corrupted nothing");
+        }
+    }
+}

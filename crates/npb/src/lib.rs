@@ -64,3 +64,18 @@ pub fn ad_suite() -> Vec<Box<dyn ScrutinyApp>> {
     v.push(Box::new(Ep::class_s()));
     v
 }
+
+/// Mini instances of the seven AD-analyzable benchmarks: the same kernels
+/// and dataflow shapes at seconds-scale tape sizes, for campaign matrices
+/// and the analyzer differential harness.
+pub fn ad_suite_mini() -> Vec<Box<dyn ScrutinyApp>> {
+    vec![
+        Box::new(Bt::mini()),
+        Box::new(Sp::mini()),
+        Box::new(Mg::mini()),
+        Box::new(Cg::mini()),
+        Box::new(Lu::mini()),
+        Box::new(Ft::mini()),
+        Box::new(Ep::mini()),
+    ]
+}

@@ -1,0 +1,224 @@
+//! Differential test harness: run the AD value criterion and the static
+//! data-dependency analyzer over every NPB kernel and assert the safety
+//! invariant (**datadep-critical ⊇ ad-critical**) plus an explicit,
+//! pinned expectation for every remaining disagreement.
+//!
+//! Each kernel test checks, via `assert_safety_invariant`:
+//!
+//! 1. the bitmap-level superset relation (independent of the classifier),
+//! 2. zero `AdCriticalDataDepDead` entries,
+//! 3. that the disagreement list accounts for exactly the differing
+//!    elements, and
+//! 4. a witness data-flow path on every over-approximation group,
+//!
+//! and then pins the per-variable over-approximation counts, so any drift
+//! in either analyzer shows up as a named diff against the table below.
+//! FT at class S records a 26M-node tape and follows the
+//! `paper_counts_class_s.rs` convention of being `#[ignore]`d (its mini
+//! instance runs here instead). IS is integer-only and is cross-checked
+//! through its liveness tracker rather than AD.
+//!
+//! CI runs this suite in release mode (see `.github/workflows/ci.yml`).
+
+use scrutiny_core::{
+    checkpoint_restart_cycle, scrutinize, scrutinize_with, Analyzer, FillPolicy, Policy,
+    RestartConfig, ScrutinyApp, ScrutinyOptions,
+};
+use scrutiny_integration::{
+    assert_safety_invariant, datadep_uncritical_matrix, differential_case, explain,
+    DifferentialCase,
+};
+use scrutiny_npb::is::IsSite;
+use scrutiny_npb::{ad_suite_mini, Bt, Cg, Ep, Ft, Is, Lu, Mg, Sp};
+
+/// Run both analyzers, prove the safety invariant, and pin each
+/// variable's over-approximation count (`expected` lists every variable
+/// with a *nonzero* count; all others must have zero).
+fn check_kernel(app: &dyn ScrutinyApp, expected: &[(&str, usize)]) -> DifferentialCase {
+    let case = differential_case(app, &ScrutinyOptions::default()).unwrap();
+    assert_safety_invariant(&case);
+    let rep = &case.report;
+
+    // The static verdict must equal the AD report's own structural map:
+    // both are the same reachability question over the same tape, so the
+    // differential harness re-derives Table II's cancellation-only story.
+    for (va, vd) in rep.ad.vars.iter().zip(&rep.datadep.vars) {
+        assert_eq!(
+            vd.value_map, va.structural_map,
+            "{}: datadep verdict for {} diverged from the structural sweep",
+            case.name, va.spec.name
+        );
+        let want = expected
+            .iter()
+            .find(|(n, _)| *n == va.spec.name)
+            .map_or(0, |&(_, c)| c);
+        assert_eq!(
+            va.cancellation_only().len(),
+            want,
+            "{}: over-approximation count drifted for {}\n{}",
+            case.name,
+            va.spec.name,
+            explain(rep)
+        );
+    }
+    let total: usize = expected.iter().map(|&(_, c)| c).sum();
+    assert_eq!(
+        rep.over_approximated_elems(),
+        total,
+        "{}\n{}",
+        case.name,
+        explain(rep)
+    );
+    case
+}
+
+#[test]
+fn bt_class_s_differential() {
+    check_kernel(&Bt::class_s(), &[]);
+}
+
+#[test]
+fn sp_class_s_differential() {
+    check_kernel(&Sp::class_s(), &[]);
+}
+
+#[test]
+fn cg_class_s_differential() {
+    check_kernel(&Cg::class_s(), &[]);
+}
+
+#[test]
+fn lu_class_s_differential() {
+    check_kernel(&Lu::class_s(), &[]);
+}
+
+#[test]
+fn mg_class_s_differential() {
+    check_kernel(&Mg::class_s(), &[]);
+}
+
+#[test]
+fn ep_class_s_differential() {
+    check_kernel(&Ep::class_s(), &[]);
+}
+
+#[test]
+fn ft_mini_differential() {
+    check_kernel(&Ft::mini(), &[]);
+}
+
+#[test]
+#[ignore = "26M-node tape; run explicitly or via gen_table2"]
+fn ft_class_s_differential() {
+    check_kernel(&Ft::class_s(), &[]);
+}
+
+/// IS has no floats to differentiate; its liveness tracker is the static
+/// analyzer for integer state, and its verdict is pinned here next to
+/// the float kernels so the eight-benchmark matrix is complete.
+#[test]
+fn is_class_s_liveness_verdict() {
+    let is = Is::class_s();
+    let out = is.run(IsSite::Track);
+    let by_name = |n: &str| out.reports.iter().find(|r| r.name == n).unwrap();
+    let ka = by_name("key_array");
+    assert_eq!(ka.uncritical(), 2);
+    assert!(!ka.critical[is.ckpt_at] && !ka.critical[is.ckpt_at + is.iterations]);
+    let bp = by_name("bucket_ptrs");
+    assert_eq!(bp.uncritical(), bp.critical.len(), "recomputed before read");
+    assert_eq!(by_name("passed_verification").uncritical(), 0);
+    assert_eq!(by_name("iteration").uncritical(), 0);
+}
+
+/// `Analyzer::Both` must hand back exactly the AD verdict while the
+/// differential entry point exposes both reports — pinned on a real
+/// kernel, not just the tiny in-crate fixtures.
+#[test]
+fn both_matches_single_analyzer_runs_on_cg() {
+    let app = Cg::mini();
+    let opts = ScrutinyOptions::default();
+    let both = scrutinize_with(
+        &app,
+        &ScrutinyOptions {
+            analyzer: Analyzer::Both,
+            ..opts
+        },
+    )
+    .unwrap();
+    let ad = scrutinize(&app).unwrap();
+    let dd = scrutinize_with(
+        &app,
+        &ScrutinyOptions {
+            analyzer: Analyzer::DataDep,
+            ..opts
+        },
+    )
+    .unwrap();
+    let diff = differential_case(&app, &opts).unwrap().report;
+    for (a, b) in ad.vars.iter().zip(&both.vars) {
+        assert_eq!(a.value_map, b.value_map);
+        assert_eq!(a.structural_map, b.structural_map);
+    }
+    for (a, d) in ad.vars.iter().zip(&diff.ad.vars) {
+        assert_eq!(a.value_map, d.value_map);
+    }
+    for (s, d) in dd.vars.iter().zip(&diff.datadep.vars) {
+        assert_eq!(s.value_map, d.value_map);
+    }
+    assert_eq!(both.analyzer, Analyzer::Ad);
+    assert_eq!(dd.analyzer, Analyzer::DataDep);
+}
+
+/// The fault-injection face of the invariant: corrupt datadep-uncritical
+/// elements across the whole corruption-model matrix on every mini
+/// kernel — zero failed restarts anywhere, because datadep-uncritical ⊆
+/// ad-uncritical ⇒ zero adjoint.
+#[test]
+fn datadep_uncritical_matrix_never_breaks_a_restart() {
+    let opts = ScrutinyOptions {
+        analyzer: Analyzer::DataDep,
+        ..ScrutinyOptions::default()
+    };
+    for app in ad_suite_mini() {
+        let dd = scrutinize_with(app.as_ref(), &opts).unwrap();
+        for (model, report) in datadep_uncritical_matrix(app.as_ref(), &dd, 2) {
+            assert_eq!(
+                report.failed, 0,
+                "{} under {model:?}: datadep-uncritical corruption broke a restart",
+                dd.app.name
+            );
+        }
+    }
+}
+
+/// End-to-end §IV.C restart from a checkpoint planned by the *static*
+/// analyzer alone: prune its dead elements, garbage-fill them on
+/// restore, and the rerun still verifies — while never storing less
+/// than the AD plan would.
+#[test]
+fn datadep_only_plan_restarts_every_mini_kernel() {
+    let opts = ScrutinyOptions {
+        analyzer: Analyzer::DataDep,
+        ..ScrutinyOptions::default()
+    };
+    let cfg = RestartConfig {
+        policy: Policy::PrunedValue,
+        fill: FillPolicy::Garbage(0xD1FF),
+        store_dir: None,
+    };
+    for app in ad_suite_mini() {
+        let dd = scrutinize_with(app.as_ref(), &opts).unwrap();
+        let report = checkpoint_restart_cycle(app.as_ref(), &dd, &cfg).unwrap();
+        assert!(
+            report.verified,
+            "{}: datadep-planned restart failed verification (rel err {})",
+            dd.app.name, report.rel_err
+        );
+        let ad = scrutinize(app.as_ref()).unwrap();
+        assert!(
+            dd.total_uncritical() <= ad.total_uncritical(),
+            "{}: static plan pruned more than the AD plan",
+            dd.app.name
+        );
+    }
+}
