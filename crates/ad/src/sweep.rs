@@ -85,6 +85,53 @@ pub struct SweepStats {
     pub parallel: bool,
 }
 
+impl SweepStats {
+    /// Exports the stats as obs gauges `ad.sweep.<which>.*` (gauge *set*
+    /// semantics: the most recent sweep of a given kind wins). `which` is
+    /// one of the sweep kinds used by the analysis layer: `value`,
+    /// `reach`, or `datadep`.
+    pub fn emit(&self, rec: &scrutiny_obs::Recorder, which: &str) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.set_gauge(&format!("ad.sweep.{which}.segments"), self.segments as i64);
+        rec.set_gauge(&format!("ad.sweep.{which}.threads"), self.threads as i64);
+        rec.set_gauge(
+            &format!("ad.sweep.{which}.cross_contribs"),
+            self.cross_contribs as i64,
+        );
+        rec.set_gauge(
+            &format!("ad.sweep.{which}.parallel"),
+            i64::from(self.parallel),
+        );
+    }
+
+    /// Reconstructs the stats of the most recent `which` sweep from a
+    /// snapshot — the inverse of [`SweepStats::emit`], and the view the
+    /// analysis report now reads instead of plumbing the struct through
+    /// every layer by hand. `None` when no such sweep was recorded.
+    pub fn from_snapshot(snap: &scrutiny_obs::Snapshot, which: &str) -> Option<SweepStats> {
+        Some(SweepStats {
+            segments: snap.gauge(&format!("ad.sweep.{which}.segments"))? as usize,
+            threads: snap.gauge(&format!("ad.sweep.{which}.threads"))? as usize,
+            cross_contribs: snap.gauge(&format!("ad.sweep.{which}.cross_contribs"))? as u64,
+            parallel: snap.gauge(&format!("ad.sweep.{which}.parallel"))? != 0,
+        })
+    }
+
+    /// Merges stats from repeated sweeps over the same tape (burn-in
+    /// aggregation): structural fields (`segments`, `threads`) take the
+    /// maximum, frontier traffic **sums**, `parallel` ORs.
+    pub fn merged_with(&self, other: &SweepStats) -> SweepStats {
+        SweepStats {
+            segments: self.segments.max(other.segments),
+            threads: self.threads.max(other.threads),
+            cross_contribs: self.cross_contribs + other.cross_contribs,
+            parallel: self.parallel || other.parallel,
+        }
+    }
+}
+
 /// Result of a value reverse sweep: the adjoint of every tape node.
 #[derive(Debug)]
 pub struct Gradient {

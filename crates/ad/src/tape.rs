@@ -267,6 +267,75 @@ impl Tape {
     pub fn datadep_of(&self, output: u64, cfg: SweepConfig) -> Result<DataDep, AdError> {
         datadep::analyze(self, Some(output), cfg)
     }
+
+    // ----- observed sweeps -------------------------------------------
+    //
+    // The `_observed` variants wrap the sweep in an obs span
+    // (`ad.sweep.<kind>`, with tape shape fields) and export the
+    // resulting [`SweepStats`] as gauges via [`SweepStats::emit`], so the
+    // analysis layer can derive its report from the recorder instead of
+    // plumbing the struct through by hand. With a disabled recorder they
+    // are exactly the plain sweeps.
+
+    /// [`Tape::gradient_sweep`] reporting through an obs recorder
+    /// (span `ad.sweep.value`, gauges `ad.sweep.value.*`).
+    pub fn gradient_sweep_observed(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        rec: &scrutiny_obs::Recorder,
+    ) -> Result<(Gradient, SweepStats), AdError> {
+        let shape = self.stats();
+        let _span = scrutiny_obs::span!(
+            rec,
+            "ad.sweep.value",
+            nodes = shape.nodes,
+            segments = shape.segments
+        );
+        let (gradient, stats) = self.gradient_sweep(output, cfg)?;
+        stats.emit(rec, "value");
+        Ok((gradient, stats))
+    }
+
+    /// [`Tape::reachable_sweep`] reporting through an obs recorder
+    /// (span `ad.sweep.reach`, gauges `ad.sweep.reach.*`).
+    pub fn reachable_sweep_observed(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        rec: &scrutiny_obs::Recorder,
+    ) -> Result<(Vec<bool>, SweepStats), AdError> {
+        let shape = self.stats();
+        let _span = scrutiny_obs::span!(
+            rec,
+            "ad.sweep.reach",
+            nodes = shape.nodes,
+            segments = shape.segments
+        );
+        let (reach, stats) = self.reachable_sweep(output, cfg)?;
+        stats.emit(rec, "reach");
+        Ok((reach, stats))
+    }
+
+    /// [`Tape::datadep_sweep`] reporting through an obs recorder
+    /// (span `ad.sweep.datadep`, gauges `ad.sweep.datadep.*`).
+    pub fn datadep_sweep_observed(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        rec: &scrutiny_obs::Recorder,
+    ) -> Result<DataDep, AdError> {
+        let shape = self.stats();
+        let _span = scrutiny_obs::span!(
+            rec,
+            "ad.sweep.datadep",
+            nodes = shape.nodes,
+            segments = shape.segments
+        );
+        let dd = self.datadep_sweep(output, cfg)?;
+        dd.stats().emit(rec, "datadep");
+        Ok(dd)
+    }
 }
 
 /// Memory/size counters for a recorded tape.

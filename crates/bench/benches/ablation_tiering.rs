@@ -1,7 +1,7 @@
 //! A1/A2 benches: value vs structural sweep cost on one recorded tape,
 //! and tiered vs pruned serialization cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use scrutiny_ad::TapeSession;
 use scrutiny_ckpt::writer::serialize;
 use scrutiny_core::plan::plans_for;
@@ -42,4 +42,9 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    benches();
+    let summary = scrutiny_bench::BenchSummary::new("ablation_tiering");
+    summary.absorb_criterion();
+    summary.write_and_report();
+}

@@ -167,6 +167,8 @@ criterion_group!(benches, bench);
 
 fn main() {
     benches();
+    let summary = scrutiny_bench::BenchSummary::new("ad_overhead");
+    summary.absorb_criterion();
     // The explicit measurement is expensive (several full records and
     // sweeps); skip it when the harness is only being enumerated or run
     // in test mode (`cargo bench -- --list`, `cargo test --benches`).
@@ -174,4 +176,5 @@ fn main() {
     if !enumerating {
         report_segmented_vs_seed();
     }
+    summary.write_and_report();
 }

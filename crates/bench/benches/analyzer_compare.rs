@@ -176,10 +176,13 @@ criterion_group!(benches, bench);
 
 fn main() {
     benches();
+    let summary = scrutiny_bench::BenchSummary::new("analyzer_compare");
+    summary.absorb_criterion();
     // Skip the explicit measurement when the harness is only being
     // enumerated (`cargo bench -- --list`, `cargo test --benches`).
     let enumerating = std::env::args().any(|a| a == "--list" || a == "--test");
     if !enumerating {
         report_analyzer_costs();
     }
+    summary.write_and_report();
 }

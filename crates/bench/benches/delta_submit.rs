@@ -117,5 +117,8 @@ criterion_group!(benches, bench_delta_submit);
 
 fn main() {
     benches();
+    let summary = scrutiny_bench::BenchSummary::new("delta_submit");
+    summary.absorb_criterion();
     delta_bytes_demo();
+    summary.write_and_report();
 }

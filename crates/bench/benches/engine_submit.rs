@@ -70,7 +70,7 @@ fn bench_submit(c: &mut Criterion) {
 /// compute thread vs mean blocking save, same snapshot, same storage
 /// medium. Waits happen outside the timed region — that is the point of
 /// the engine.
-fn submit_ratio_demo() {
+fn submit_ratio_demo(summary: &mut scrutiny_bench::BenchSummary) {
     const SAMPLES: u32 = 40;
     println!();
     println!("compute-thread occupancy: blocking save vs async submit (NPB class S)");
@@ -102,6 +102,10 @@ fn submit_ratio_demo() {
         }
         let submit_mean = submit_total / SAMPLES;
         let ratio = 100.0 * submit_mean.as_secs_f64() / save_mean.as_secs_f64().max(1e-12);
+        let metric = name.to_ascii_lowercase();
+        summary.set_mean_us(&format!("ratio.{metric}.blocking_save_us"), save_mean);
+        summary.set_mean_us(&format!("ratio.{metric}.async_submit_us"), submit_mean);
+        summary.set_meta(&format!("{metric}_submit_ratio_pct"), ratio);
         println!(
             "  {name:<4} blocking save {save_mean:>10.2?}   async submit {submit_mean:>10.2?}   \
              ratio {ratio:5.1}%  (target < 10%) {}",
@@ -117,5 +121,8 @@ criterion_group!(benches, bench_submit);
 
 fn main() {
     benches();
-    submit_ratio_demo();
+    let mut summary = scrutiny_bench::BenchSummary::new("engine_submit");
+    summary.absorb_criterion();
+    submit_ratio_demo(&mut summary);
+    summary.write_and_report();
 }

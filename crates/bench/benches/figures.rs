@@ -1,7 +1,7 @@
 //! Figures bench: regenerates Fig. 3 (BT cube) and Fig. 6 (CG bar)
 //! artifacts and times the renderers (run `gen_figures` for all six).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use scrutiny_core::scrutinize;
 use scrutiny_npb::{Bt, Cg};
 use scrutiny_viz::ascii::component_slice;
@@ -27,4 +27,9 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    benches();
+    let summary = scrutiny_bench::BenchSummary::new("figures");
+    summary.absorb_criterion();
+    summary.write_and_report();
+}

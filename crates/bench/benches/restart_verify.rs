@@ -1,7 +1,7 @@
 //! §IV.C bench: prints the restart-verification line for BT class S and
 //! times the full checkpoint→fail→restore→verify cycle.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use scrutiny_core::{checkpoint_restart_cycle, scrutinize, Policy, RestartConfig};
 use scrutiny_npb::{Bt, Cg};
 
@@ -35,4 +35,9 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    benches();
+    let summary = scrutiny_bench::BenchSummary::new("restart_verify");
+    summary.absorb_criterion();
+    summary.write_and_report();
+}

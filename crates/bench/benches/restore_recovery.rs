@@ -132,5 +132,8 @@ criterion_group!(benches, bench_restore, bench_recovery_scan);
 
 fn main() {
     benches();
+    let summary = scrutiny_bench::BenchSummary::new("restore_recovery");
+    summary.absorb_criterion();
     restore_summary();
+    summary.write_and_report();
 }

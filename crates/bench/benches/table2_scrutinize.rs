@@ -2,7 +2,7 @@
 //! FFT-free subset for speed; `gen_table2` covers all six), then times
 //! the scrutinizer on representative instances.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use scrutiny_core::{format_table2, scrutinize, table2_rows, ScrutinyApp};
 use scrutiny_npb::{Bt, Cg, Lu, Mg, Sp};
 
@@ -32,4 +32,9 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    benches();
+    let summary = scrutiny_bench::BenchSummary::new("table2_scrutinize");
+    summary.absorb_criterion();
+    summary.write_and_report();
+}

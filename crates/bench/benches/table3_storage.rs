@@ -1,7 +1,7 @@
 //! Table III bench: regenerates the storage rows for the non-FFT class-S
 //! benchmarks, then times full vs pruned checkpoint serialization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use scrutiny_ckpt::writer::serialize;
 use scrutiny_ckpt::VarPlan;
 use scrutiny_core::plan::plans_for;
@@ -41,4 +41,9 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    benches();
+    let summary = scrutiny_bench::BenchSummary::new("table3_storage");
+    summary.absorb_criterion();
+    summary.write_and_report();
+}

@@ -5,3 +5,6 @@
 //! EXPERIMENTS.md for paper-vs-measured results.
 
 pub mod expectations;
+pub mod summary;
+
+pub use summary::{BenchSummary, BENCH_DIR_ENV};

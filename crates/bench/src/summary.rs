@@ -1,0 +1,206 @@
+//! Machine-readable bench results: `BENCH_<name>.json` summaries.
+//!
+//! Criterion printouts vanish with the terminal; the paper's
+//! quantitative claims need a perf trajectory that survives across PRs.
+//! Every bench harness builds a [`BenchSummary`], records its headline
+//! measurements into the embedded [`Recorder`] (histograms for timed
+//! samples, gauges for sizes/counts, meta fields for ratios and
+//! pass/fail verdicts), and ends with [`BenchSummary::write`] — one
+//! `BENCH_<name>.json` file per harness, in the single-object form of
+//! [`scrutiny_obs::Snapshot::to_json`].
+//!
+//! The output directory is `$SCRUTINY_BENCH_DIR` when set (CI points it
+//! at an artifact path), the current directory otherwise.
+
+use scrutiny_obs::{FieldValue, Recorder};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Env var naming the directory `BENCH_<name>.json` files land in.
+pub const BENCH_DIR_ENV: &str = "SCRUTINY_BENCH_DIR";
+
+/// One bench harness's machine-readable result file in the making.
+#[derive(Debug)]
+pub struct BenchSummary {
+    name: String,
+    rec: Recorder,
+    meta: Vec<(String, FieldValue)>,
+}
+
+impl BenchSummary {
+    /// A summary for the harness `name` (lower_snake; becomes the
+    /// `BENCH_<name>.json` filename and the `bench` meta field).
+    pub fn new(name: &str) -> BenchSummary {
+        BenchSummary {
+            name: name.to_string(),
+            rec: Recorder::with_capacity(8192),
+            meta: Vec::new(),
+        }
+    }
+
+    /// The recorder measurements land in — pass it to observed APIs, or
+    /// record into it directly.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Record one timed sample into the `metric` histogram (µs buckets).
+    pub fn record_duration(&self, metric: &str, d: Duration) {
+        self.rec
+            .histogram(metric)
+            .record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record a mean duration as a `<metric>` gauge in µs — for
+    /// already-aggregated measurements where per-sample buckets would
+    /// mislead.
+    pub fn set_mean_us(&self, metric: &str, d: Duration) {
+        self.rec
+            .set_gauge(metric, d.as_micros().min(i64::MAX as u128) as i64);
+    }
+
+    /// Record a size/count gauge.
+    pub fn set_value(&self, metric: &str, v: i64) {
+        self.rec.set_gauge(metric, v);
+    }
+
+    /// Attach a top-level meta field (a ratio, a verdict, an instance
+    /// label) to the summary object.
+    pub fn set_meta(&mut self, key: &str, value: impl Into<FieldValue>) {
+        self.meta.push((key.to_string(), value.into()));
+    }
+
+    /// Where [`BenchSummary::write`] will put the file.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os(BENCH_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Serialize the summary (snapshot + meta fields) to
+    /// `BENCH_<name>.json` and return the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let mut meta: Vec<(&str, FieldValue)> = vec![("bench", FieldValue::Str(self.name.clone()))];
+        for (k, v) in &self.meta {
+            meta.push((k.as_str(), v.clone()));
+        }
+        let path = self.path();
+        std::fs::write(&path, self.rec.snapshot().to_json(&meta))?;
+        Ok(path)
+    }
+
+    /// Drain the criterion shim's recorded samples
+    /// ([`criterion::take_results`]) into per-benchmark histograms: the
+    /// id `group/function` becomes the dotted metric name
+    /// ([`metric_name_of`]), each timed sample one µs histogram entry.
+    /// Call after the `criterion_group!` functions have run.
+    pub fn absorb_criterion(&self) {
+        for result in criterion::take_results() {
+            let metric = metric_name_of(&result.id);
+            for t in &result.timings {
+                self.record_duration(&metric, *t);
+            }
+        }
+    }
+
+    /// [`BenchSummary::write`], reporting the outcome on stdout instead
+    /// of failing the harness: a read-only checkout must not abort a
+    /// bench run over its summary file.
+    pub fn write_and_report(&self) {
+        match self.write() {
+            Ok(path) => println!("bench summary: {}", path.display()),
+            Err(e) => println!("bench summary NOT written ({}): {e}", self.path().display()),
+        }
+    }
+}
+
+/// Criterion benchmark id → obs metric name: `/` becomes the segment
+/// dot, everything else lowercases, and characters outside `[a-z0-9_]`
+/// fold to `_`; a segment that would start with a digit or underscore
+/// gains a `b` prefix so the result satisfies the documented naming
+/// scheme (`docs/OBSERVABILITY.md`).
+pub fn metric_name_of(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for (i, raw) in id.split('/').enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        let mut segment = String::with_capacity(raw.len() + 1);
+        for ch in raw.chars() {
+            let ch = ch.to_ascii_lowercase();
+            segment.push(
+                if ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '_' {
+                    ch
+                } else {
+                    '_'
+                },
+            );
+        }
+        if !segment
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase())
+        {
+            segment.insert(0, 'b');
+        }
+        out.push_str(&segment);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_writes_single_object_json_with_meta() {
+        let dir = std::env::temp_dir().join(format!("scrutiny_bench_sum_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Env vars are process-global; serialize access through a scope
+        // that restores the prior state.
+        let prev = std::env::var_os(BENCH_DIR_ENV);
+        std::env::set_var(BENCH_DIR_ENV, &dir);
+
+        let mut s = BenchSummary::new("unit_test");
+        s.record_duration("demo.op_us", Duration::from_micros(120));
+        s.set_value("demo.bytes", 4096);
+        s.set_meta("ratio_pct", 3.5f64);
+        let path = s.write().unwrap();
+
+        match prev {
+            Some(v) => std::env::set_var(BENCH_DIR_ENV, v),
+            None => std::env::remove_var(BENCH_DIR_ENV),
+        }
+
+        assert_eq!(path, dir.join("BENCH_unit_test.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let obj = scrutiny_obs::json::parse(&text).unwrap();
+        let meta = obj.get("meta").unwrap();
+        assert_eq!(
+            meta.get("bench").and_then(|j| j.as_str()),
+            Some("unit_test")
+        );
+        assert_eq!(meta.get("ratio_pct").and_then(|j| j.as_f64()), Some(3.5));
+        assert!(obj.get("histograms").unwrap().get("demo.op_us").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn criterion_ids_become_valid_metric_names() {
+        assert_eq!(
+            metric_name_of("engine_submit/BT/blocking_save"),
+            "engine_submit.bt.blocking_save"
+        );
+        assert_eq!(metric_name_of("table2/CG class-S"), "table2.cg_class_s");
+        assert_eq!(metric_name_of("2d/0ap"), "b2d.b0ap");
+        for id in [
+            "engine_submit/BT/blocking_save",
+            "table2/CG class-S",
+            "2d/0ap",
+        ] {
+            let name = metric_name_of(id);
+            assert!(scrutiny_obs::schema::valid_name(&name), "{name}");
+        }
+    }
+}

@@ -54,7 +54,9 @@ pub use format::{
 };
 pub use reader::Checkpoint;
 pub use regions::{Region, Regions};
-pub use restore::{read_data_image_parallel, RestoreOptions, RestoreStats};
+pub use restore::{
+    read_data_image_parallel, read_data_image_parallel_obs, RestoreOptions, RestoreStats,
+};
 pub use shard::{plan_shards, seal_shards, serialize_shard, ShardManifest, ShardPlan};
 pub use store::CheckpointStore;
 pub use writer::{serialize_aux, serialize_data, write_checkpoint, write_file_atomic};

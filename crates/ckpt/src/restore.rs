@@ -37,6 +37,7 @@
 use crate::delta::{apply_delta_verified, check_delta, walk_chain, ChainBase};
 use crate::format::{crc32, CkptError};
 use crate::names;
+use scrutiny_obs::{span, Recorder, Snapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -61,6 +62,33 @@ pub struct RestoreStats {
     pub delta_links: usize,
     /// Bytes of the reconstructed data-file image.
     pub image_bytes: usize,
+}
+
+impl RestoreStats {
+    /// Publish these stats as `ckpt.restore.*` gauges on `rec`. The
+    /// stats struct is a *view* over the recorder's data: what `emit`
+    /// writes, [`RestoreStats::from_snapshot`] reads back losslessly.
+    pub fn emit(&self, rec: &Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.set_gauge("ckpt.restore.threads", self.threads as i64);
+        rec.set_gauge("ckpt.restore.base_shards", self.base_shards as i64);
+        rec.set_gauge("ckpt.restore.delta_links", self.delta_links as i64);
+        rec.set_gauge("ckpt.restore.image_bytes", self.image_bytes as i64);
+    }
+
+    /// Reconstruct the stats of the most recent emitted restore from an
+    /// observability snapshot. `None` if the snapshot holds no
+    /// `ckpt.restore.*` gauges (no restore was observed).
+    pub fn from_snapshot(snap: &Snapshot) -> Option<RestoreStats> {
+        Some(RestoreStats {
+            threads: snap.gauge("ckpt.restore.threads")? as usize,
+            base_shards: snap.gauge("ckpt.restore.base_shards")? as usize,
+            delta_links: snap.gauge("ckpt.restore.delta_links")? as usize,
+            image_bytes: snap.gauge("ckpt.restore.image_bytes")? as usize,
+        })
+    }
 }
 
 fn resolve_threads(requested: usize, jobs: usize) -> usize {
@@ -161,6 +189,37 @@ where
         delta_links: deltas.len(),
         image_bytes: image.len(),
     };
+    Ok((image, stats))
+}
+
+/// [`read_data_image_parallel`] reporting into a [`Recorder`]: the whole
+/// restore runs under a `ckpt.restore` span (emitted even when the
+/// restore fails, so rejected recovery candidates leave a trace), a
+/// `ckpt.restore.image` point carries what the pipeline did, and the
+/// stats land as `ckpt.restore.*` gauges ([`RestoreStats::emit`]). With
+/// a disabled recorder this is exactly the unobserved function.
+pub fn read_data_image_parallel_obs<F>(
+    version: u64,
+    fetch: &F,
+    opts: &RestoreOptions,
+    rec: &Recorder,
+) -> Result<(Vec<u8>, RestoreStats), CkptError>
+where
+    F: Fn(&str) -> Result<Vec<u8>, CkptError> + Sync,
+{
+    let _restore = span!(rec, "ckpt.restore", version = version);
+    let (image, stats) = read_data_image_parallel(version, fetch, opts)?;
+    stats.emit(rec);
+    rec.event(
+        "ckpt.restore.image",
+        &[
+            ("version", version.into()),
+            ("threads", stats.threads.into()),
+            ("base_shards", stats.base_shards.into()),
+            ("delta_links", stats.delta_links.into()),
+            ("image_bytes", stats.image_bytes.into()),
+        ],
+    );
     Ok((image, stats))
 }
 

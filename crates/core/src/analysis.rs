@@ -32,6 +32,7 @@ use scrutiny_ad::{
     AdError, Adj, DataDep, SweepConfig, SweepStats, Tape, TapeConfig, TapeSession, Witness,
 };
 use scrutiny_ckpt::{Bitmap, DType, Regions};
+use scrutiny_obs::Recorder;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -155,7 +156,7 @@ impl AnalysisReport {
 }
 
 /// Tuning knobs for [`scrutinize_with`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ScrutinyOptions {
     /// Tape-node capacity hint; `None` uses the app's own
     /// [`ScrutinyApp::tape_capacity_hint`].
@@ -173,6 +174,11 @@ pub struct ScrutinyOptions {
     /// Analysis backend: the AD value criterion (default), the static
     /// data-dependency analyzer, or both cross-checked.
     pub analyzer: Analyzer,
+    /// Observability sink: record/sweep phase spans and the sweep gauges
+    /// the report's [`SweepStats`] views are derived from. The default is
+    /// [`Recorder::disabled`]; the analysis then uses a small private
+    /// recorder internally (stats still work, nothing is exported).
+    pub recorder: Recorder,
 }
 
 impl Default for ScrutinyOptions {
@@ -184,6 +190,7 @@ impl Default for ScrutinyOptions {
             threads: 0,
             node_limit: tape.node_limit,
             analyzer: Analyzer::Ad,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -292,28 +299,35 @@ pub fn scrutinize_with(
         Analyzer::Ad | Analyzer::DataDep => {}
     }
     let t0 = Instant::now();
-    let rec = record_app(app, opts);
+    let obs = effective_recorder(opts);
+    let rec = record_app(app, opts, &obs);
     let cfg = SweepConfig {
         threads: opts.threads,
     };
+    let sweeps_span = scrutiny_obs::span!(obs, "core.analysis.sweeps");
     match opts.analyzer {
         Analyzer::Ad => {
             // The two sweeps are independent; run them concurrently. Each
-            // may additionally parallelize its own frontier merging.
+            // may additionally parallelize its own frontier merging. They
+            // report into the recorder themselves (spans `ad.sweep.value`
+            // / `ad.sweep.reach`, gauges `ad.sweep.<kind>.*`).
             let (value_res, reach_res) = std::thread::scope(|scope| {
-                let reach = scope.spawn(|| rec.tape.reachable_sweep(rec.output, cfg));
-                let value = rec.tape.gradient_sweep(rec.output, cfg);
+                let reach =
+                    scope.spawn(|| rec.tape.reachable_sweep_observed(rec.output, cfg, &obs));
+                let value = rec.tape.gradient_sweep_observed(rec.output, cfg, &obs);
                 (value, reach.join().expect("structural sweep panicked"))
             });
-            let (grads, sweep) = value_res?;
-            let (reach, reach_sweep) = reach_res?;
+            let (grads, _) = value_res?;
+            let (reach, _) = reach_res?;
+            drop(sweeps_span);
             let vars = ad_vars(&rec, &grads, &reach);
-            Ok(rec.report(Analyzer::Ad, sweep, reach_sweep, vars, t0))
+            Ok(rec.report(Analyzer::Ad, &obs, ("value", "reach"), vars, t0))
         }
         Analyzer::DataDep => {
-            let dd = rec.tape.datadep_sweep(rec.output, cfg)?;
+            let dd = rec.tape.datadep_sweep_observed(rec.output, cfg, &obs)?;
+            drop(sweeps_span);
             let vars = datadep_vars(&rec, &dd);
-            Ok(rec.report(Analyzer::DataDep, dd.stats(), dd.stats(), vars, t0))
+            Ok(rec.report(Analyzer::DataDep, &obs, ("datadep", "datadep"), vars, t0))
         }
         Analyzer::Both => unreachable!("dispatched above"),
     }
@@ -327,30 +341,33 @@ pub fn scrutinize_differential(
     opts: &ScrutinyOptions,
 ) -> Result<DifferentialReport, AdError> {
     let t0 = Instant::now();
-    let rec = record_app(app, opts);
+    let obs = effective_recorder(opts);
+    let rec = record_app(app, opts, &obs);
     let cfg = SweepConfig {
         threads: opts.threads,
     };
+    let sweeps_span = scrutiny_obs::span!(obs, "core.analysis.sweeps");
     let (value_res, reach_res, dd_res) = std::thread::scope(|scope| {
-        let reach = scope.spawn(|| rec.tape.reachable_sweep(rec.output, cfg));
-        let dd = scope.spawn(|| rec.tape.datadep_sweep(rec.output, cfg));
-        let value = rec.tape.gradient_sweep(rec.output, cfg);
+        let reach = scope.spawn(|| rec.tape.reachable_sweep_observed(rec.output, cfg, &obs));
+        let dd = scope.spawn(|| rec.tape.datadep_sweep_observed(rec.output, cfg, &obs));
+        let value = rec.tape.gradient_sweep_observed(rec.output, cfg, &obs);
         (
             value,
             reach.join().expect("structural sweep panicked"),
             dd.join().expect("datadep sweep panicked"),
         )
     });
-    let (grads, sweep) = value_res?;
-    let (reach, reach_sweep) = reach_res?;
+    drop(sweeps_span);
+    let (grads, _) = value_res?;
+    let (reach, _) = reach_res?;
     let dd = dd_res?;
 
     let ad_vars = ad_vars(&rec, &grads, &reach);
     let dd_vars = datadep_vars(&rec, &dd);
     let disagreements = classify_disagreements(&rec, &ad_vars, &dd_vars, &dd);
 
-    let datadep = rec.report(Analyzer::DataDep, dd.stats(), dd.stats(), dd_vars, t0);
-    let ad = rec.report(Analyzer::Ad, sweep, reach_sweep, ad_vars, t0);
+    let datadep = rec.report(Analyzer::DataDep, &obs, ("datadep", "datadep"), dd_vars, t0);
+    let ad = rec.report(Analyzer::Ad, &obs, ("value", "reach"), ad_vars, t0);
     Ok(DifferentialReport {
         ad,
         datadep,
@@ -375,11 +392,17 @@ impl Recorded {
     /// Interpret one analyzer's sweep results as an [`AnalysisReport`]
     /// over this recording. Borrowing lets the differential path build
     /// two reports over the same tape.
+    ///
+    /// The report's [`SweepStats`] are not plumbed through as arguments:
+    /// the observed sweeps exported them as `ad.sweep.<kind>.*` gauges,
+    /// and this reads them back via [`SweepStats::from_snapshot`] — the
+    /// stats struct is a *view* over obs data. `kinds` names the
+    /// `(value, structural)` sweep kinds this report describes.
     fn report(
         &self,
         analyzer: Analyzer,
-        sweep: SweepStats,
-        reach_sweep: SweepStats,
+        obs: &Recorder,
+        kinds: (&str, &str),
         vars: Vec<VarCriticality>,
         t0: Instant,
     ) -> AnalysisReport {
@@ -388,25 +411,40 @@ impl Recorded {
             .enumerate()
             .map(|(i, v)| (v.spec.name.clone(), i))
             .collect();
+        let snap = obs.snapshot();
+        let analysis_seconds = t0.elapsed().as_secs_f64();
+        obs.record("core.analysis_us", (analysis_seconds * 1e6) as u64);
         AnalysisReport {
             app: self.spec.clone(),
             analyzer,
             ckpt_iter: self.ckpt_iter,
             output_value: self.output.value(),
             tape_stats: self.tape.stats(),
-            sweep,
-            reach_sweep,
-            analysis_seconds: t0.elapsed().as_secs_f64(),
+            sweep: SweepStats::from_snapshot(&snap, kinds.0).unwrap_or_default(),
+            reach_sweep: SweepStats::from_snapshot(&snap, kinds.1).unwrap_or_default(),
+            analysis_seconds,
             vars,
             by_name,
         }
     }
 }
 
+/// The recorder an analysis reports into: the caller's when enabled,
+/// otherwise a small private one — the report's stats views read from it
+/// either way, nothing else escapes.
+fn effective_recorder(opts: &ScrutinyOptions) -> Recorder {
+    if opts.recorder.is_enabled() {
+        opts.recorder.clone()
+    } else {
+        Recorder::with_capacity(256)
+    }
+}
+
 /// Run the application once under AD with leaves injected at the
 /// checkpoint boundary.
-fn record_app(app: &dyn ScrutinyApp, opts: &ScrutinyOptions) -> Recorded {
+fn record_app(app: &dyn ScrutinyApp, opts: &ScrutinyOptions, obs: &Recorder) -> Recorded {
     let spec = app.spec();
+    let record_span = scrutiny_obs::span!(obs, "core.analysis.record", app = spec.name.as_str());
     let session = TapeSession::with_config(TapeConfig {
         capacity: opts.capacity.unwrap_or_else(|| app.tape_capacity_hint()),
         segment_len: opts.segment_len,
@@ -415,6 +453,12 @@ fn record_app(app: &dyn ScrutinyApp, opts: &ScrutinyOptions) -> Recorded {
     let mut site = LeafSite::new();
     let outcome = app.run_ad(&mut site);
     let tape = session.finish();
+    let shape = tape.stats();
+    obs.set_gauge("core.tape.nodes", shape.nodes as i64);
+    obs.set_gauge("core.tape.leaves", shape.leaves as i64);
+    obs.set_gauge("core.tape.segments", shape.segments as i64);
+    obs.set_gauge("core.tape.bytes", shape.bytes as i64);
+    drop(record_span);
     let ckpt_iter = site
         .iter
         .expect("the application never reached its checkpoint boundary");

@@ -89,11 +89,14 @@ pub use spec::{AppSpec, VarSpec};
 
 // Re-export the scalar abstraction so applications depend on one crate.
 pub use scrutiny_ad::{AdError, Adj, Cplx, DataDep, Dual, Real, SweepConfig, SweepStats, Witness};
+// Re-export the observability substrate: every layer below reports into a
+// [`Recorder`], and the stats structs are views over its snapshots.
 pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};
+pub use scrutiny_obs::{point, span, FieldValue, Recorder, Snapshot as ObsSnapshot, SpanView};
 // Re-export the async checkpoint engine (and its recovery side) so
 // applications wire one crate.
 pub use scrutiny_engine::{
     DeltaPolicy, DirBackend, EngineConfig, EngineError, EngineHandle, Layout, MemBackend,
-    Recovered, RecoveryConfig, RecoveryManager, RecoveryReport, RejectedVersion, RestoreOptions,
-    RestoreStats, ShardedBackend, Snapshot, StorageBackend, Ticket,
+    Recovered, RecoveryConfig, RecoveryManager, RecoveryReport, RecoveryWalk, RejectedVersion,
+    RestoreOptions, RestoreStats, ShardedBackend, Snapshot, StorageBackend, Ticket,
 };

@@ -286,7 +286,7 @@ pub fn recover_latest_checkpoint(
     engine: &EngineHandle,
     recovery: &RecoveryConfig,
 ) -> Result<Recovered, EngineError> {
-    RecoveryManager::new(engine.backend(), *recovery).recover_latest()
+    RecoveryManager::new(engine.backend(), recovery.clone()).recover_latest()
 }
 
 /// Materialize every variable of a loaded checkpoint into full-size

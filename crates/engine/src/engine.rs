@@ -25,6 +25,7 @@ use scrutiny_ckpt::delta::{publish_epoch, DeltaPolicy};
 use scrutiny_ckpt::names;
 use scrutiny_ckpt::shard::{plan_shards, seal_shards, serialize_shard, ShardPlan};
 use scrutiny_ckpt::{serialize_aux, StorageBreakdown, VarPlan, VarRecord};
+use scrutiny_obs::{point, span, Counter, Gauge, HistHandle, Recorder};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -68,6 +69,12 @@ pub struct EngineConfig {
     /// compute thread still pays only the staging memcpy. Bases are
     /// published monolithically; `layout` is ignored in delta mode.
     pub delta: Option<DeltaPolicy>,
+    /// Observability sink. The engine emits per-version spans
+    /// (`engine.submit` → `engine.shard_serialize` → `engine.publish` →
+    /// `engine.commit`), queue-depth/inflight gauges, and
+    /// publish/commit counters through it. Defaults to
+    /// [`Recorder::disabled`], which costs a branch per touch point.
+    pub recorder: Recorder,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +90,7 @@ impl Default for EngineConfig {
             layout: Layout::Monolithic,
             keep: None,
             delta: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -197,9 +205,38 @@ impl Chain {
     }
 }
 
+/// Pre-resolved obs handles for the engine's hot paths: one registry
+/// lookup at `open`, then a relaxed atomic per update.
+struct EngineObs {
+    rec: Recorder,
+    queue_depth: Gauge,
+    inflight: Gauge,
+    submit_us: HistHandle,
+    commit_bytes: HistHandle,
+    submissions: Counter,
+    commits: Counter,
+    publish_failures: Counter,
+}
+
+impl EngineObs {
+    fn new(rec: Recorder) -> Self {
+        EngineObs {
+            queue_depth: rec.gauge("engine.queue_depth"),
+            inflight: rec.gauge("engine.inflight"),
+            submit_us: rec.histogram("engine.submit_us"),
+            commit_bytes: rec.histogram("engine.commit_bytes"),
+            submissions: rec.counter("engine.submissions"),
+            commits: rec.counter("engine.commits"),
+            publish_failures: rec.counter("engine.publish_failures"),
+            rec,
+        }
+    }
+}
+
 struct Shared {
     backend: Arc<dyn StorageBackend>,
     cfg: EngineConfig,
+    obs: EngineObs,
     queue: Mutex<QueueState>,
     /// Workers sleep here waiting for tasks.
     task_cv: Condvar,
@@ -228,10 +265,37 @@ impl Shared {
         if sub.resolved.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Every submission passes here exactly once: the single place the
+        // published/failed events and the inflight gauge are emitted.
+        match &result {
+            Ok(bd) => {
+                self.obs.commits.inc();
+                self.obs.commit_bytes.record(bd.total() as u64);
+                point!(
+                    self.obs.rec,
+                    "engine.published",
+                    version = sub.version,
+                    payload_bytes = bd.payload_bytes,
+                    aux_bytes = bd.aux_bytes,
+                    header_bytes = bd.header_bytes,
+                    total_bytes = bd.total()
+                );
+            }
+            Err(e) => {
+                self.obs.publish_failures.inc();
+                point!(
+                    self.obs.rec,
+                    "engine.publish_failed",
+                    version = sub.version,
+                    error = e.to_string()
+                );
+            }
+        }
         {
             let mut r = self.results.lock().unwrap();
             r.done.insert(sub.id, (sub.version, result));
             r.pending -= 1;
+            self.obs.inflight.set(r.pending as i64);
         }
         self.results_cv.notify_all();
         if let Some(chain) = &self.chain {
@@ -276,6 +340,7 @@ impl EngineHandle {
         let next_version = list_versions(backend.as_ref())?.last().map_or(0, |v| v + 1);
         let shared = Arc::new(Shared {
             chain: cfg.delta.as_ref().map(|_| Chain::new(next_version)),
+            obs: EngineObs::new(cfg.recorder.clone()),
             cfg: cfg.clone(),
             backend,
             queue: Mutex::new(QueueState {
@@ -312,6 +377,12 @@ impl EngineHandle {
         self.shared.backend.clone()
     }
 
+    /// The recorder this engine reports into (disabled unless the config
+    /// set one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.obs.rec
+    }
+
     /// Stage a copy of `vars`/`plans` and hand it to the worker pool;
     /// returns as soon as the copy is staged and enqueued. Blocks only
     /// for backpressure (staging gate full or task queue full).
@@ -329,6 +400,8 @@ impl EngineHandle {
     }
 
     fn enqueue(&self, snapshot: Snapshot) -> Result<Ticket, EngineError> {
+        let obs = &self.shared.obs;
+        let t0 = obs.rec.is_enabled().then(std::time::Instant::now);
         let plan = match plan_shards(
             &snapshot.vars,
             &snapshot.plans,
@@ -357,8 +430,19 @@ impl EngineHandle {
             r.next_id += 1;
             r.outstanding.insert(id);
             r.pending += 1;
+            obs.inflight.set(r.pending as i64);
             (id, self.shared.next_version.fetch_add(1, Ordering::Relaxed))
         };
+        // The submit span covers task enqueueing — including any
+        // backpressure wait on the bounded queue, which is exactly what
+        // an operator wants attributed to the submitting thread.
+        let submit_span = span!(
+            obs.rec,
+            "engine.submit",
+            version = version,
+            shards = nshards
+        );
+        obs.submissions.inc();
         let sub = Arc::new(Submission {
             id,
             version,
@@ -378,6 +462,12 @@ impl EngineHandle {
                 shard,
             });
             self.shared.task_cv.notify_one();
+        }
+        obs.queue_depth.set(q.tasks.len() as i64);
+        drop(q);
+        drop(submit_span);
+        if let Some(t0) = t0 {
+            obs.submit_us.record_duration(t0.elapsed());
         }
         Ok(Ticket { id, version })
     }
@@ -446,6 +536,7 @@ fn worker_loop(shared: Arc<Shared>) {
             let mut q = shared.queue.lock().unwrap();
             loop {
                 if let Some(t) = q.tasks.pop_front() {
+                    shared.obs.queue_depth.set(q.tasks.len() as i64);
                     shared.space_cv.notify_one();
                     break t;
                 }
@@ -473,12 +564,20 @@ fn worker_loop(shared: Arc<Shared>) {
 
 fn process_task(shared: &Shared, task: &Task) -> Result<(), EngineError> {
     let sub = &task.sub;
-    let seg = serialize_shard(
-        &sub.snapshot.vars,
-        &sub.snapshot.plans,
-        &sub.plan,
-        task.shard,
-    );
+    let seg = {
+        let _span = span!(
+            shared.obs.rec,
+            "engine.shard_serialize",
+            version = sub.version,
+            shard = task.shard
+        );
+        serialize_shard(
+            &sub.snapshot.vars,
+            &sub.snapshot.plans,
+            &sub.plan,
+            task.shard,
+        )
+    };
     sub.segments.lock().unwrap()[task.shard] = Some(seg);
     // The worker finishing the last shard publishes the checkpoint.
     if sub.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -516,6 +615,8 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
 
     let v = sub.version;
     let backend = shared.backend.as_ref();
+    let obs = &shared.obs;
+    let publish = span!(obs.rec, "engine.publish", version = v);
     match shared.cfg.layout {
         Layout::Monolithic => {
             let mut data = Vec::with_capacity(data_len);
@@ -525,7 +626,12 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
             // Aux first: once the data object (the commit marker the
             // store scans for) exists, the checkpoint is complete.
             backend.put(&names::aux(v), &aux)?;
+            // The commit span is emitted only after the marker write
+            // succeeded, so the log never shows a commit for an
+            // unpublished version.
+            let t_commit = obs.rec.now_us();
             backend.put(&names::data(v), &data)?;
+            commit_span(obs, t_commit, v, &names::data(v), data.len());
         }
         Layout::Sharded => {
             for (i, s) in sealed.iter().enumerate() {
@@ -533,13 +639,40 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
             }
             backend.put(&names::aux(v), &aux)?;
             // Manifest last: it is the sharded layout's commit marker.
-            backend.put(&names::manifest(v), &manifest.to_bytes())?;
+            let t_commit = obs.rec.now_us();
+            let manifest_bytes = manifest.to_bytes();
+            backend.put(&names::manifest(v), &manifest_bytes)?;
+            commit_span(obs, t_commit, v, &names::manifest(v), manifest_bytes.len());
         }
     }
 
     apply_retention(shared);
+    // Close the publish span before the ticket resolves: a waiter may
+    // snapshot the recorder the moment `wait` returns, and must not see
+    // its own completed epoch as an open span.
+    drop(publish);
     shared.resolve(sub, Ok(breakdown));
     Ok(())
+}
+
+/// Emit the per-version `engine.commit` span retroactively, wrapping the
+/// (successful) commit-marker write. Exactly one of these exists per
+/// *published* version — a failed epoch emits `engine.publish_failed`
+/// instead — which is what makes a recovery walk reconstructable from the
+/// log alone.
+fn commit_span(obs: &EngineObs, start_us: u64, version: u64, object: &str, marker_bytes: usize) {
+    if !obs.rec.is_enabled() {
+        return;
+    }
+    obs.rec.closed_span(
+        "engine.commit",
+        start_us,
+        &[
+            ("version", version.into()),
+            ("object", object.into()),
+            ("marker_bytes", marker_bytes.into()),
+        ],
+    );
 }
 
 /// The checkpoint is durably committed when this runs, so retention is
@@ -590,8 +723,12 @@ fn finish_delta(
     };
 
     let backend = shared.backend.as_ref();
+    let obs = &shared.obs;
+    let publish = span!(obs.rec, "engine.publish", version = v);
     // The base-vs-delta decision, write order, and accounting are the
-    // store's exact `publish_epoch` — the two writers cannot drift.
+    // store's exact `publish_epoch` — the two writers cannot drift. The
+    // put closure spots the commit marker (the object whose name carries
+    // a committed version) and wraps that one write in the commit span.
     let result = publish_epoch(
         v,
         policy,
@@ -601,7 +738,16 @@ fn finish_delta(
         payload_bytes,
         &aux,
         pair_bytes,
-        |name, bytes| backend.put(name, bytes),
+        |name, bytes| {
+            if names::committed_version(name) == Some(v) {
+                let t_commit = obs.rec.now_us();
+                backend.put(name, bytes)?;
+                commit_span(obs, t_commit, v, name, bytes.len());
+                Ok(())
+            } else {
+                backend.put(name, bytes)
+            }
+        },
     );
 
     let mut s = chain.state.lock().unwrap();
@@ -611,6 +757,8 @@ fn finish_delta(
             s.deltas_since_base = new_deltas_since_base;
             drop(s);
             apply_retention(shared);
+            // Span end before resolve — see `finish_submission`.
+            drop(publish);
             shared.resolve(sub, Ok(breakdown));
         }
         Err(e) => {
@@ -618,6 +766,7 @@ fn finish_delta(
             // still the previous image; the next epoch patches that.
             s.prev = prev;
             drop(s);
+            drop(publish);
             shared.resolve(sub, Err(e.into()));
         }
     }

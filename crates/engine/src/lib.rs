@@ -88,7 +88,9 @@ pub use backend::{
 };
 pub use engine::{EngineConfig, EngineHandle, Layout, Ticket};
 pub use error::EngineError;
-pub use recovery::{Recovered, RecoveryConfig, RecoveryManager, RecoveryReport, RejectedVersion};
+pub use recovery::{
+    Recovered, RecoveryConfig, RecoveryManager, RecoveryReport, RecoveryWalk, RejectedVersion,
+};
 pub use snapshot::Snapshot;
 // Re-export the delta-chain policy and the restore pipeline's knobs so
 // delta-mode engines and recovery callers configure from one crate.

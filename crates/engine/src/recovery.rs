@@ -32,13 +32,14 @@
 use crate::backend::StorageBackend;
 use crate::error::EngineError;
 use scrutiny_ckpt::names::{self, CkptName};
-use scrutiny_ckpt::restore::{read_data_image_parallel, RestoreOptions, RestoreStats};
+use scrutiny_ckpt::restore::{read_data_image_parallel_obs, RestoreOptions, RestoreStats};
 use scrutiny_ckpt::{Checkpoint, CkptError};
+use scrutiny_obs::{span, Recorder, Snapshot};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Tuning knobs for a recovery scan.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct RecoveryConfig {
     /// Worker threads for the parallel restore of each candidate
     /// (see [`RestoreOptions::threads`]; 0 — the default — is auto,
@@ -49,6 +50,11 @@ pub struct RecoveryConfig {
     /// latency when a backend holds a long history of damaged
     /// checkpoints.
     pub max_scan: usize,
+    /// Observability sink for the scan: candidate/reject/recovered
+    /// events, the `engine.recovery.scan` span, and the winning
+    /// restore's `ckpt.restore.*` telemetry all land here. Defaults to
+    /// [`Recorder::disabled`] (no overhead).
+    pub recorder: Recorder,
 }
 
 /// One candidate the scan examined and refused, and the typed reason.
@@ -218,12 +224,13 @@ impl RecoveryManager {
         }
         let backend = self.backend.as_ref();
         let aux = backend.get(&names::aux(version))?;
-        let (data, stats) = read_data_image_parallel(
+        let (data, stats) = read_data_image_parallel_obs(
             version,
             &|name: &str| backend.get(name),
             &RestoreOptions {
                 threads: self.cfg.threads,
             },
+            &self.cfg.recorder,
         )?;
         let checkpoint = Checkpoint::from_bytes(&data, &aux)?;
         Ok((data, aux, checkpoint, stats))
@@ -235,15 +242,36 @@ impl RecoveryManager {
     /// verifies (or the scan budget runs out first),
     /// [`EngineError::Unrecoverable`] carries the same report.
     pub fn recover_latest(&self) -> Result<Recovered, EngineError> {
+        let rec = &self.cfg.recorder;
         let (candidates, committed) = Self::scan_listing(&self.backend.list()?);
+        let _scan = span!(
+            rec,
+            "engine.recovery.scan",
+            candidates = candidates.len(),
+            max_scan = self.cfg.max_scan
+        );
         let mut report = RecoveryReport::default();
         for version in candidates {
             if self.cfg.max_scan > 0 && report.scanned >= self.cfg.max_scan {
+                rec.event(
+                    "engine.recovery.budget_exhausted",
+                    &[("scanned", report.scanned.into())],
+                );
                 break;
             }
             report.scanned += 1;
+            rec.event("engine.recovery.candidate", &[("version", version.into())]);
             match self.restore_committed(version, &committed) {
                 Ok((data, aux, checkpoint, stats)) => {
+                    rec.event(
+                        "engine.recovery.recovered",
+                        &[
+                            ("version", version.into()),
+                            ("data_bytes", data.len().into()),
+                            ("aux_bytes", aux.len().into()),
+                            ("rejected", report.rejected.len().into()),
+                        ],
+                    );
                     report.recovered = Some(version);
                     report.restore = Some(stats);
                     return Ok(Recovered {
@@ -255,12 +283,89 @@ impl RecoveryManager {
                     });
                 }
                 Err(e) if is_integrity_failure(&e) => {
+                    rec.event(
+                        "engine.recovery.reject",
+                        &[
+                            ("version", version.into()),
+                            ("reason", e.to_string().into()),
+                        ],
+                    );
                     report.rejected.push(RejectedVersion { version, error: e });
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    rec.event(
+                        "engine.recovery.abort",
+                        &[("version", version.into()), ("error", e.to_string().into())],
+                    );
+                    return Err(e.into());
+                }
             }
         }
         Err(EngineError::Unrecoverable(Box::new(report)))
+    }
+}
+
+/// The shape of a recovery scan reconstructed **from the observability
+/// log alone** — no [`RecoveryReport`] in hand. This is the
+/// log-completeness contract of the recovery events: everything a
+/// post-mortem needs (what was examined, what was refused and why, what
+/// won) survives the trip through JSONL.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryWalk {
+    /// Versions examined, in scan order (newest first).
+    pub candidates: Vec<u64>,
+    /// `(version, reason)` for every rejected candidate, in scan order.
+    pub rejected: Vec<(u64, String)>,
+    /// The version that recovered, if the scan succeeded.
+    pub recovered: Option<u64>,
+}
+
+impl RecoveryWalk {
+    /// Rebuild the walk from the `engine.recovery.*` events of a
+    /// snapshot (live, or parsed back from JSONL).
+    pub fn from_snapshot(snap: &Snapshot) -> RecoveryWalk {
+        let mut walk = RecoveryWalk::default();
+        let field_u64 = |ev: &scrutiny_obs::Event, key: &str| -> Option<u64> {
+            ev.fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+                if let scrutiny_obs::FieldValue::U64(n) = v {
+                    Some(*n)
+                } else {
+                    None
+                }
+            })
+        };
+        let field_str = |ev: &scrutiny_obs::Event, key: &str| -> Option<String> {
+            ev.fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+                if let scrutiny_obs::FieldValue::Str(s) = v {
+                    Some(s.clone())
+                } else {
+                    None
+                }
+            })
+        };
+        for ev in &snap.events {
+            if ev.kind != scrutiny_obs::EventKind::Point {
+                continue;
+            }
+            match ev.name.as_str() {
+                "engine.recovery.candidate" => {
+                    if let Some(v) = field_u64(ev, "version") {
+                        walk.candidates.push(v);
+                    }
+                }
+                "engine.recovery.reject" => {
+                    if let Some(v) = field_u64(ev, "version") {
+                        walk.rejected
+                            .push((v, field_str(ev, "reason").unwrap_or_default()));
+                    }
+                }
+                "engine.recovery.recovered" => {
+                    walk.recovered = field_u64(ev, "version");
+                }
+                _ => {}
+            }
+        }
+        walk
     }
 }
 

@@ -123,6 +123,52 @@ fn objects_of(backend: &dyn StorageBackend, version: u64) -> Result<VersionObjec
 }
 
 impl StorageScenario {
+    /// The scenario's stable lower-snake name, as it appears in the
+    /// `faultinj.inject` observability events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageScenario::TruncatedShard => "truncated_shard",
+            StorageScenario::FlippedPayloadByte => "flipped_payload_byte",
+            StorageScenario::DeletedDeltaBase => "deleted_delta_base",
+            StorageScenario::MissingCommitMarker => "missing_commit_marker",
+        }
+    }
+
+    /// [`StorageScenario::inject`], reporting the injection into a
+    /// [`Recorder`](scrutiny_obs::Recorder): a `faultinj.inject` event
+    /// names the scenario, the
+    /// target version, and the damaged object (or the typed error), so
+    /// a recovery log read end-to-end shows *why* versions started
+    /// failing verification — the injection is part of the experiment's
+    /// record, not an invisible hand.
+    pub fn inject_obs(
+        &self,
+        backend: &dyn StorageBackend,
+        version: u64,
+        rec: &scrutiny_obs::Recorder,
+    ) -> Result<String, CkptError> {
+        let result = self.inject(backend, version);
+        match &result {
+            Ok(object) => rec.event(
+                "faultinj.inject",
+                &[
+                    ("scenario", self.name().into()),
+                    ("version", version.into()),
+                    ("object", object.as_str().into()),
+                ],
+            ),
+            Err(e) => rec.event(
+                "faultinj.inject",
+                &[
+                    ("scenario", self.name().into()),
+                    ("version", version.into()),
+                    ("error", e.to_string().into()),
+                ],
+            ),
+        }
+        result
+    }
+
     /// Inject this scenario against checkpoint `version` in `backend`;
     /// returns the name of the (primary) damaged object. Asking for a
     /// scenario the version's layout cannot express (e.g. a truncated

@@ -37,7 +37,8 @@ pub use is::Is;
 pub use lu::Lu;
 pub use mg::Mg;
 pub use pipeline::{
-    burn_in, burn_in_delta, burn_in_recover, burn_in_suite, burn_in_suite_mini, perturb_localized,
+    burn_in, burn_in_delta, burn_in_delta_observed, burn_in_observed, burn_in_recover,
+    burn_in_recover_observed, burn_in_suite, burn_in_suite_mini, perturb_localized,
     perturb_uncritical, BurnInReport, DeltaBurnInReport, RecoveryBurnInReport,
 };
 pub use sp::Sp;

@@ -19,8 +19,8 @@ use crate::{Cg, Ft};
 use scrutiny_core::restart::capture_state;
 use scrutiny_core::{
     checkpoint_recover_cycle_async, checkpoint_restart_cycle_async, submit_checkpoint,
-    AnalysisReport, EngineError, EngineHandle, Policy, RecoveryConfig, RestartConfig, ScrutinyApp,
-    VarData, VarRecord,
+    AnalysisReport, EngineError, EngineHandle, Policy, Recorder, RecoveryConfig, RestartConfig,
+    ScrutinyApp, VarData, VarRecord,
 };
 use scrutiny_faultinj::StorageScenario;
 
@@ -34,8 +34,14 @@ pub struct BurnInReport {
     /// Segments of the analysis tape the burn-in's criticality maps came
     /// from (the record ran through the segmented tape).
     pub tape_segments: usize,
-    /// What the analysis value sweep did (threads, frontier traffic).
+    /// What the analysis sweeps did, **aggregated across both sweeps**
+    /// (value + reachability): frontier traffic sums, thread/segment
+    /// counts take the maximum. Earlier versions overwrote this with the
+    /// value sweep alone, silently dropping the reachability sweep's
+    /// share of the analysis cost.
     pub sweep: scrutiny_core::SweepStats,
+    /// Stored payload bytes of each epoch, in submission order.
+    pub epoch_payload_bytes: Vec<usize>,
     /// Sum of stored payload bytes across all epochs.
     pub payload_bytes: usize,
     /// Did a restart from the newest engine-written checkpoint reproduce
@@ -54,6 +60,24 @@ pub fn burn_in(
     epochs: usize,
     policy: Policy,
 ) -> Result<BurnInReport, EngineError> {
+    burn_in_observed(app, analysis, engine, epochs, policy, &Recorder::disabled())
+}
+
+/// [`burn_in`] reporting into a [`Recorder`]: each resolved epoch emits
+/// an `npb.epoch` event (`epoch`, `version`, `payload_bytes`,
+/// `total_bytes`, `wait_us`), so a JSONL dump of the recorder carries
+/// the whole per-epoch trajectory. Pass the same recorder the engine
+/// was opened with ([`scrutiny_core::EngineConfig::recorder`]) and the
+/// epoch events interleave with the engine's submit/publish/commit
+/// spans in one log.
+pub fn burn_in_observed(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    engine: &EngineHandle,
+    epochs: usize,
+    policy: Policy,
+    rec: &Recorder,
+) -> Result<BurnInReport, EngineError> {
     if epochs == 0 {
         return Err(EngineError::InvalidConfig(
             "a burn-in needs at least one epoch".into(),
@@ -66,9 +90,22 @@ pub fn burn_in(
         // epoch's serialization and storage.
         tickets.push(submit_checkpoint(app, analysis, policy, engine)?);
     }
-    let mut payload_bytes = 0;
-    for t in tickets {
-        payload_bytes += engine.wait(t)?.payload_bytes;
+    let mut epoch_payload_bytes = Vec::with_capacity(epochs);
+    for (epoch, t) in tickets.into_iter().enumerate() {
+        let version = t.version();
+        let t0 = rec.now_us();
+        let storage = engine.wait(t)?;
+        rec.event(
+            "npb.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("version", version.into()),
+                ("payload_bytes", storage.payload_bytes.into()),
+                ("total_bytes", storage.total().into()),
+                ("wait_us", rec.now_us().saturating_sub(t0).into()),
+            ],
+        );
+        epoch_payload_bytes.push(storage.payload_bytes);
     }
     let cfg = RestartConfig {
         policy,
@@ -79,8 +116,10 @@ pub fn burn_in(
         app: app.spec().name,
         epochs,
         tape_segments: analysis.tape_stats.segments,
-        sweep: analysis.sweep,
-        payload_bytes,
+        // Sum, don't overwrite: both sweeps contributed to the maps.
+        sweep: analysis.sweep.merged_with(&analysis.reach_sweep),
+        payload_bytes: epoch_payload_bytes.iter().sum(),
+        epoch_payload_bytes,
         verified: report.verified,
         rel_err: report.rel_err,
     })
@@ -155,6 +194,19 @@ pub fn burn_in_delta(
     epochs: usize,
     policy: Policy,
 ) -> Result<DeltaBurnInReport, EngineError> {
+    burn_in_delta_observed(app, analysis, engine, epochs, policy, &Recorder::disabled())
+}
+
+/// [`burn_in_delta`] reporting into a [`Recorder`]: each resolved epoch
+/// emits an `npb.epoch` event, like [`burn_in_observed`].
+pub fn burn_in_delta_observed(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    engine: &EngineHandle,
+    epochs: usize,
+    policy: Policy,
+    rec: &Recorder,
+) -> Result<DeltaBurnInReport, EngineError> {
     if epochs < 2 {
         return Err(EngineError::InvalidConfig(
             "a delta burn-in needs a base epoch and at least one delta epoch".into(),
@@ -168,7 +220,20 @@ pub fn burn_in_delta(
             perturb_localized(&mut vars, epoch);
         }
         let ticket = engine.submit(&vars, &plans)?;
-        bytes.push(engine.wait(ticket)?.total());
+        let version = ticket.version();
+        let t0 = rec.now_us();
+        let storage = engine.wait(ticket)?;
+        rec.event(
+            "npb.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("version", version.into()),
+                ("payload_bytes", storage.payload_bytes.into()),
+                ("total_bytes", storage.total().into()),
+                ("wait_us", rec.now_us().saturating_sub(t0).into()),
+            ],
+        );
+        bytes.push(storage.total());
     }
     let cfg = RestartConfig {
         policy,
@@ -261,6 +326,35 @@ pub fn burn_in_recover(
     policy: Policy,
     scenario: StorageScenario,
 ) -> Result<RecoveryBurnInReport, EngineError> {
+    burn_in_recover_observed(
+        app,
+        analysis,
+        engine,
+        epochs,
+        policy,
+        scenario,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`burn_in_recover`] reporting into a [`Recorder`]: per-epoch
+/// `npb.epoch` events, the fault injection as a `faultinj.inject` event,
+/// and the recovery scan's candidate/reject/recovered events all land in
+/// one log. With the engine opened on the same recorder
+/// ([`scrutiny_core::EngineConfig::recorder`]), the resulting JSONL dump
+/// is a complete record of the lifecycle — every submit, publish,
+/// commit, the injected damage, and the fallback walk — with no other
+/// output needed (`tests/obs_lifecycle.rs` holds that contract).
+#[allow(clippy::too_many_arguments)]
+pub fn burn_in_recover_observed(
+    app: &dyn ScrutinyApp,
+    analysis: &AnalysisReport,
+    engine: &EngineHandle,
+    epochs: usize,
+    policy: Policy,
+    scenario: StorageScenario,
+    rec: &Recorder,
+) -> Result<RecoveryBurnInReport, EngineError> {
     if epochs < 2 {
         return Err(EngineError::InvalidConfig(
             "a recovery burn-in needs a victim epoch and at least one fallback epoch".into(),
@@ -275,17 +369,31 @@ pub fn burn_in_recover(
         }
         let ticket = engine.submit(&vars, &plans)?;
         newest = ticket.version();
-        engine.wait(ticket)?;
+        let t0 = rec.now_us();
+        let storage = engine.wait(ticket)?;
+        rec.event(
+            "npb.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("version", newest.into()),
+                ("payload_bytes", storage.payload_bytes.into()),
+                ("total_bytes", storage.total().into()),
+                ("wait_us", rec.now_us().saturating_sub(t0).into()),
+            ],
+        );
     }
     let damaged = scenario
-        .inject(engine.backend().as_ref(), newest)
+        .inject_obs(engine.backend().as_ref(), newest, rec)
         .map_err(EngineError::from)?;
     let cfg = RestartConfig {
         policy,
         ..Default::default()
     };
-    let report =
-        checkpoint_recover_cycle_async(app, analysis, &cfg, engine, &RecoveryConfig::default())?;
+    let recovery = RecoveryConfig {
+        recorder: rec.clone(),
+        ..Default::default()
+    };
+    let report = checkpoint_recover_cycle_async(app, analysis, &cfg, engine, &recovery)?;
     let recovered_version = report
         .recovery
         .recovered

@@ -1,0 +1,48 @@
+//! Self-contained checker for obs JSONL event logs.
+//!
+//! Usage: `obs-schema-check <log.jsonl>...` — validates each file against
+//! the schema in `docs/OBSERVABILITY.md` and prints a per-file summary.
+//! Exits non-zero on the first violation, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use scrutiny_obs::schema::validate_jsonl;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs-schema-check <log.jsonl>...");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match validate_jsonl(&text) {
+            Ok(summary) => println!(
+                "{path}: OK ({} lines: {} counters, {} gauges, {} histograms, {} spans, {} points)",
+                summary.lines,
+                summary.counters,
+                summary.gauges,
+                summary.histograms,
+                summary.span_starts,
+                summary.points
+            ),
+            Err(violation) => {
+                eprintln!("{path}: SCHEMA VIOLATION at {violation}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-bucket (power-of-two) histograms with lock-free recording.
+//!
+//! A [`Histogram`] holds one atomic counter per power-of-two bucket plus
+//! atomic `sum`/`min`/`max` accumulators. Recording is a handful of
+//! relaxed atomic RMWs — no locks, no allocation — so histograms are safe
+//! to hit from the engine's worker pool and the AD sweep threads.
+//!
+//! The observable count is **derived** from the bucket array rather than
+//! stored in a separate atomic: a concurrent snapshot can therefore never
+//! see a count that disagrees with its buckets (no torn count/bucket
+//! pairs). Each individual bucket is read atomically; a snapshot taken
+//! mid-storm is some valid prefix of the recording history per bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value 0, plus one bucket per bit position 1..=64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros`, so
+/// bucket `b ≥ 1` covers the range `[2^(b-1), 2^b - 1]`.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range covered by bucket `index`.
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        b => (1u64 << (b - 1), (1u64 << b) - 1),
+    }
+}
+
+/// A concurrent power-of-two-bucket histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free; callable from any thread.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Snapshots the histogram. The returned count is the sum of the
+    /// snapshotted buckets, so it can never disagree with them.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let min = self.min.load(Ordering::Relaxed);
+        HistSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, indexed by [`bucket_of`]; always [`HIST_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+    /// Total recordings — always `buckets.iter().sum()` by construction.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (used when reconstructing from JSONL).
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Mean of the recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(bucket_index, count)` pairs for the non-empty buckets, the sparse
+    /// form used by the JSONL encoding.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_range(b);
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 3, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1029);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.nonzero_buckets(), vec![(0, 1), (1, 2), (2, 1), (11, 1)]);
+    }
+
+    #[test]
+    fn empty_min_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

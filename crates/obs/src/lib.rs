@@ -1,0 +1,61 @@
+//! # scrutiny-obs — tracing/metrics substrate for the scrutiny lifecycle
+//!
+//! Every layer of the checkpoint-scrutiny pipeline — tape record, AD
+//! sweeps, analysis, engine submit → shard-serialize → diff → publish →
+//! commit, recovery, restore — reports into one [`Recorder`]:
+//!
+//! * **Counters** ([`Recorder::counter`]) — monotonic totals
+//!   (`engine.submissions`), one relaxed atomic add per update.
+//! * **Gauges** ([`Recorder::gauge`]) — last-write-wins signed levels
+//!   (`engine.queue_depth`), also used as the export surface for the
+//!   per-run stats structs (`SweepStats`, `RestoreStats`).
+//! * **Histograms** ([`Recorder::histogram`]) — power-of-two-bucket
+//!   distributions for bytes and latency-µs; the snapshot count is derived
+//!   from the buckets so concurrent reads can never tear.
+//! * **Spans** ([`span!`]) — structured start/end events with monotonic
+//!   µs timestamps and per-thread parent links, kept in a bounded ring.
+//! * **Point events** ([`point!`]) — one-shot records (recovery rejects,
+//!   fault injections).
+//!
+//! [`Recorder::snapshot`] freezes everything into a [`Snapshot`],
+//! exportable as JSONL ([`Snapshot::to_jsonl`], round-tripped by
+//! [`Snapshot::from_jsonl`]), as one JSON object for bench summaries
+//! ([`Snapshot::to_json`]), or as a one-page text exposition
+//! ([`Snapshot::render_text`]). [`schema::validate_jsonl`] (and the
+//! `obs-schema-check` binary) enforce the documented JSONL schema in CI.
+//!
+//! The disabled recorder ([`Recorder::disabled`], also [`Recorder::default`])
+//! holds no allocation; every operation is a branch on `None`. The
+//! `obs_overhead` bench in `scrutiny-bench` pins this near zero.
+//!
+//! ```
+//! use scrutiny_obs::{point, span, Recorder};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _submit = span!(rec, "engine.submit", version = 0u64);
+//!     rec.record("engine.commit_bytes", 4096);
+//!     point!(rec, "engine.commit", version = 0u64);
+//! }
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.spans().len(), 1);
+//! let log = snap.to_jsonl();
+//! assert_eq!(scrutiny_obs::Snapshot::from_jsonl(&log).unwrap(), snap);
+//! scrutiny_obs::schema::validate_jsonl(&log).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod schema;
+pub mod snapshot;
+
+pub use hist::{bucket_of, bucket_range, HistSnapshot, Histogram, HIST_BUCKETS};
+pub use recorder::{
+    Counter, Event, EventKind, FieldValue, Gauge, HistHandle, Recorder, SpanGuard,
+    DEFAULT_RING_CAPACITY,
+};
+pub use schema::{validate_jsonl, SchemaSummary, SchemaViolation};
+pub use snapshot::{Snapshot, SpanView, JSONL_VERSION};

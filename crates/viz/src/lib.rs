@@ -10,9 +10,11 @@ pub mod image;
 pub mod pattern;
 pub mod runlength;
 pub mod svg;
+pub mod timeline;
 
 pub use ascii::{slice_ascii, volume_ascii};
 pub use image::{slice_pgm, volume_montage_pgm};
 pub use pattern::{detect_periodicity, detect_planes, PlaneFinding};
 pub use runlength::{runlength_chart, runlength_summary};
 pub use svg::runlength_svg;
+pub use timeline::{timeline_ascii, timeline_svg};

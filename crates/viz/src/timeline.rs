@@ -1,0 +1,231 @@
+//! Gantt timelines from observability span logs.
+//!
+//! The engine overlaps work on purpose — the next epoch's compute runs
+//! while the previous epoch serializes and publishes — and the only way
+//! to *see* that overlap is a timeline. These renderers turn the spans
+//! of a [`scrutiny_obs::Snapshot`] (live, or parsed back from a JSONL
+//! dump) into a per-epoch Gantt view: one row per span, rows grouped by
+//! the `version` field when present (the engine stamps its submit /
+//! publish / commit spans with it), time flowing left to right.
+//!
+//! Both renderers are deterministic over their input — identical span
+//! lists produce byte-identical output — so they are safe to regression
+//! test and to diff across runs.
+
+use scrutiny_obs::SpanView;
+
+/// Palette keyed by the span name's first dotted segment, so every
+/// `engine.*` row shares a color, every `ad.*` row another, and the eye
+/// can follow one subsystem across epochs. Unknown roots cycle through
+/// the tail of the palette by a stable hash.
+fn color_of(name: &str) -> &'static str {
+    let root = name.split('.').next().unwrap_or(name);
+    match root {
+        "engine" => "#c0392b",
+        "ad" => "#2980b9",
+        "core" => "#27ae60",
+        "ckpt" => "#8e44ad",
+        "npb" => "#e67e22",
+        _ => {
+            const TAIL: [&str; 3] = ["#16a085", "#7f8c8d", "#d35400"];
+            let h = name
+                .bytes()
+                .fold(0usize, |a, b| a.wrapping_mul(31) + b as usize);
+            TAIL[h % TAIL.len()]
+        }
+    }
+}
+
+/// A span row prepared for rendering: resolved extent and sort keys.
+struct Row<'a> {
+    span: &'a SpanView,
+    /// The `version` field when the span carries one (engine spans do);
+    /// versionless spans sort before all versioned ones.
+    version: Option<u64>,
+    end_us: u64,
+}
+
+/// Order spans into Gantt rows: by epoch (`version` field, unversioned
+/// first), then by start time, then id — a stable, meaningful reading
+/// order. Open spans (no end in the log) are drawn to the latest
+/// timestamp seen, so a crashed run still renders.
+fn layout(spans: &[SpanView]) -> (Vec<Row<'_>>, u64, u64) {
+    let t_max_seen = spans
+        .iter()
+        .map(|s| s.end_us.unwrap_or(s.start_us))
+        .max()
+        .unwrap_or(0);
+    let mut rows: Vec<Row> = spans
+        .iter()
+        .map(|span| Row {
+            span,
+            version: span.field_u64("version"),
+            end_us: span.end_us.unwrap_or(t_max_seen).max(span.start_us),
+        })
+        .collect();
+    rows.sort_by_key(|r| {
+        (
+            r.version.map(|v| v + 1).unwrap_or(0),
+            r.span.start_us,
+            r.span.id,
+        )
+    });
+    let t0 = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    (rows, t0, t_max_seen.max(t0 + 1))
+}
+
+/// Render a span log as a standalone Gantt SVG: one labeled row per
+/// span, grouped by checkpoint version (epoch), colored by subsystem
+/// (bar color keyed to the name's first dotted segment), with a µs time
+/// scale. `width_px` is the plot width;
+/// the label gutter is added on top of it.
+pub fn timeline_svg(spans: &[SpanView], width_px: usize) -> String {
+    const ROW_H: usize = 16;
+    const GUTTER: usize = 220;
+    let (rows, t0, t1) = layout(spans);
+    let span_us = (t1 - t0).max(1);
+    let height_px = rows.len() * ROW_H + ROW_H; // one extra row for the axis
+    let total_w = GUTTER + width_px;
+    let mut body = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let y = i * ROW_H;
+        let x = GUTTER + ((row.span.start_us - t0) as usize * width_px) / span_us as usize;
+        let x_end = GUTTER + ((row.end_us - t0) as usize * width_px) / span_us as usize;
+        let w = (x_end - x).max(1);
+        let label = match row.version {
+            Some(v) => format!("v{v} {}", row.span.name),
+            None => row.span.name.clone(),
+        };
+        let dur = row
+            .span
+            .duration_us()
+            .map(|d| format!("{d} µs"))
+            .unwrap_or_else(|| "open".to_string());
+        body.push_str(&format!(
+            "  <text x=\"2\" y=\"{ty}\" font-size=\"11\" font-family=\"monospace\">{label}</text>\n\
+             \x20 <rect x=\"{x}\" y=\"{ry}\" width=\"{w}\" height=\"{h}\" fill=\"{color}\">\
+             <title>{name} {start}..{end} µs ({dur})</title></rect>\n",
+            ty = y + ROW_H - 4,
+            ry = y + 2,
+            h = ROW_H - 4,
+            color = color_of(&row.span.name),
+            name = row.span.name,
+            start = row.span.start_us,
+            end = row.end_us,
+        ));
+    }
+    // Time axis: a baseline with the total extent in µs at the right edge.
+    let axis_y = rows.len() * ROW_H + ROW_H / 2;
+    body.push_str(&format!(
+        "  <line x1=\"{GUTTER}\" y1=\"{axis_y}\" x2=\"{total_w}\" y2=\"{axis_y}\" \
+         stroke=\"#333\"/>\n  <text x=\"{GUTTER}\" y=\"{ty}\" font-size=\"10\" \
+         font-family=\"monospace\">0 .. {span_us} µs</text>\n",
+        ty = axis_y - 3,
+    ));
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w}\" height=\"{height_px}\" \
+         viewBox=\"0 0 {total_w} {height_px}\">\n{body}</svg>\n"
+    )
+}
+
+/// Render a span log as a monospace Gantt chart, `width` columns of
+/// timeline per row: `####` marks the span's extent, `-` elapsed time
+/// around it. Same row order as [`timeline_svg`]; suited to test
+/// assertions and terminal triage.
+pub fn timeline_ascii(spans: &[SpanView], width: usize) -> String {
+    let width = width.max(10);
+    let (rows, t0, t1) = layout(spans);
+    let span_us = (t1 - t0).max(1);
+    let label_w = rows
+        .iter()
+        .map(|r| r.span.name.len() + r.version.map(|v| format!("v{v} ").len()).unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+        .max(4);
+    let mut out = String::new();
+    for row in &rows {
+        let label = match row.version {
+            Some(v) => format!("v{v} {}", row.span.name),
+            None => row.span.name.clone(),
+        };
+        // Clamp into the lane: a zero-length span starting at the log's
+        // last timestamp would otherwise land one column past the edge.
+        let c0 = (((row.span.start_us - t0) as usize * width) / span_us as usize).min(width - 1);
+        let c1 = (((row.end_us - t0) as usize * width) / span_us as usize)
+            .max(c0 + 1)
+            .min(width);
+        let mut lane: String = String::with_capacity(width);
+        for c in 0..width {
+            lane.push(if c >= c0 && c < c1 { '#' } else { '-' });
+        }
+        let dur = row
+            .span
+            .duration_us()
+            .map(|d| format!("{d} µs"))
+            .unwrap_or_else(|| "open".to_string());
+        out.push_str(&format!("{label:<label_w$} |{lane}| {dur}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutiny_obs::Recorder;
+
+    fn sample_spans() -> Vec<SpanView> {
+        let rec = Recorder::with_capacity(64);
+        {
+            let _a = rec.span_with("engine.submit", &[("version", 0u64.into())]);
+            let _b = rec.span_with("engine.shard_serialize", &[("version", 0u64.into())]);
+        }
+        {
+            let _c = rec.span_with("ad.sweep.value", &[]);
+        }
+        rec.snapshot().spans()
+    }
+
+    #[test]
+    fn svg_has_a_row_per_span_and_epoch_labels() {
+        let spans = sample_spans();
+        let svg = timeline_svg(&spans, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), spans.len());
+        assert!(svg.contains("v0 engine.submit"));
+        assert!(svg.contains("ad.sweep.value"));
+        // Subsystem palette: engine red, ad blue.
+        assert!(svg.contains("#c0392b") && svg.contains("#2980b9"));
+    }
+
+    #[test]
+    fn ascii_orders_unversioned_rows_first_and_marks_extent() {
+        let spans = sample_spans();
+        let text = timeline_ascii(&spans, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("ad.sweep.value"));
+        assert!(lines[1].starts_with("v0 engine.submit"));
+        for line in &lines {
+            assert!(line.contains('#'), "{line}");
+            assert!(line.contains('|'), "{line}");
+        }
+    }
+
+    #[test]
+    fn open_spans_render_instead_of_panicking() {
+        let rec = Recorder::with_capacity(64);
+        let guard = rec.span_with("engine.publish", &[("version", 3u64.into())]);
+        let spans = rec.snapshot().spans();
+        drop(guard);
+        assert!(timeline_ascii(&spans, 30).contains("open"));
+        assert!(timeline_svg(&spans, 100).contains("open"));
+    }
+
+    #[test]
+    fn empty_log_renders_empty_chart() {
+        let svg = timeline_svg(&[], 100);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(timeline_ascii(&[], 30), "");
+    }
+}

@@ -11,7 +11,30 @@
 
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark's identity and raw timed samples, retrievable
+/// via [`take_results`] after the groups have run.
+///
+/// This is a shim extension (real criterion exposes results through its
+/// report files instead): the `scrutiny-bench` harnesses drain it into
+/// their machine-readable `BENCH_<name>.json` summaries.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// The benchmark id (`group/function`).
+    pub id: String,
+    /// The timed samples, sorted ascending.
+    pub timings: Vec<Duration>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every [`BenchResult`] recorded since the last call (shim
+/// extension; see [`BenchResult`]).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
+}
 
 /// Prevent the compiler from optimizing away a benchmarked value.
 pub fn black_box<T>(x: T) -> T {
@@ -112,6 +135,10 @@ where
         return;
     }
     b.timings.sort();
+    RESULTS.lock().unwrap().push(BenchResult {
+        id: id.to_string(),
+        timings: b.timings.clone(),
+    });
     let total: Duration = b.timings.iter().sum();
     let mean = total / b.timings.len() as u32;
     let min = b.timings[0];

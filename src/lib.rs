@@ -20,6 +20,10 @@
 
 #![warn(missing_docs)]
 
+/// Zero-dependency tracing/metrics recorder every other crate reports
+/// into: [`scrutiny_obs::Recorder`], spans, JSONL export.
+pub use scrutiny_obs as obs;
+
 /// Tape-based reverse-mode AD: [`scrutiny_ad::Adj`], [`scrutiny_ad::Tape`],
 /// forward-mode [`scrutiny_ad::Dual`], and the [`scrutiny_ad::Real`] scalar
 /// abstraction the NPB kernels are generic over.

@@ -141,7 +141,7 @@ fn both_matches_single_analyzer_runs_on_cg() {
         &app,
         &ScrutinyOptions {
             analyzer: Analyzer::Both,
-            ..opts
+            ..opts.clone()
         },
     )
     .unwrap();
@@ -150,7 +150,7 @@ fn both_matches_single_analyzer_runs_on_cg() {
         &app,
         &ScrutinyOptions {
             analyzer: Analyzer::DataDep,
-            ..opts
+            ..opts.clone()
         },
     )
     .unwrap();
