@@ -217,6 +217,12 @@ pub enum CkptError {
     /// The caller's configuration is unusable (e.g. a store asked to
     /// retain zero checkpoints).
     InvalidConfig(String),
+    /// A storage service refused the operation by policy — quota,
+    /// backpressure, or drain — rather than failure. The string starts
+    /// with a stable lower-snake reason code (e.g. `version_quota: ...`;
+    /// see `docs/PROTOCOL.md`). The stored bytes are *not* suspect:
+    /// recovery treats this as environmental, never as corruption.
+    Rejected(String),
 }
 
 impl fmt::Display for CkptError {
@@ -230,6 +236,7 @@ impl fmt::Display for CkptError {
             CkptError::MissingVar(n) => write!(f, "variable {n:?} not present in checkpoint"),
             CkptError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
             CkptError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            CkptError::Rejected(m) => write!(f, "rejected by storage service: {m}"),
         }
     }
 }

@@ -52,6 +52,7 @@ pub use delta::{DeltaPolicy, DeltaStats};
 pub use format::{
     CkptError, Crc32, DType, FillPolicy, StorageBreakdown, VarData, VarPlan, VarRecord,
 };
+pub use names::Tenant;
 pub use reader::Checkpoint;
 pub use regions::{Region, Regions};
 pub use restore::{

@@ -61,6 +61,22 @@ impl CheckpointStore {
         })
     }
 
+    /// Open (or create) `tenant`'s store inside a shared pool directory:
+    /// the store rooted at `<pool>/<tenant>`, where the tenant's objects
+    /// live under the pool-level names `<tenant>/ckpt_v...` (see
+    /// [`crate::names`], "Tenant namespaces"). The open-time orphan
+    /// sweep, retention, and version scans all operate on that
+    /// subdirectory only — one tenant's sweep can never touch a
+    /// sibling's files, and the pool root (the default tenant) never
+    /// descends into tenant subdirectories.
+    pub fn open_tenant(
+        pool: impl AsRef<Path>,
+        tenant: &crate::names::Tenant,
+        keep: usize,
+    ) -> Result<Self, CkptError> {
+        Self::open(pool.as_ref().join(tenant.as_str()), keep)
+    }
+
     /// A version exists once its data file (monolithic layout) or shard
     /// manifest (sharded layout) is published.
     fn scan_versions(dir: &Path) -> Result<Vec<u64>, CkptError> {
@@ -217,7 +233,7 @@ impl CheckpointStore {
                 | CkptName::Manifest(v)
                 | CkptName::Delta(v) => Some(v),
                 CkptName::Shard { version, .. } => Some(version),
-                CkptName::Tmp | CkptName::Other => None,
+                CkptName::Tmp | CkptName::Foreign | CkptName::Other => None,
             };
             if version.is_some_and(|v| doomed.contains(&v)) {
                 let _ = fs::remove_file(path);

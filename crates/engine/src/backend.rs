@@ -13,7 +13,7 @@
 //! [`scrutiny_ckpt::Checkpoint::load`] / restart path with no conversion.
 
 use crate::error::EngineError;
-use scrutiny_ckpt::names::{self, CkptName};
+use scrutiny_ckpt::names::{self, CkptName, Tenant};
 use scrutiny_ckpt::{write_file_atomic, CkptError};
 use std::collections::HashMap;
 use std::fs;
@@ -43,6 +43,13 @@ pub trait StorageBackend: Send + Sync {
 }
 
 /// Committed checkpoint versions in a backend, ascending.
+///
+/// Tenant-scoped by construction: `committed_version` parses the
+/// default-tenant grammar only, so over a raw pool this sees the default
+/// tenant's chain, and over a [`NamespacedBackend`] it sees exactly that
+/// tenant's chain (same for [`prune_chain_aware`], `committed_kinds`,
+/// and [`crate::RecoveryManager`] scans — namespacing the backend scopes
+/// every consumer at once).
 pub fn list_versions(backend: &dyn StorageBackend) -> Result<Vec<u64>, EngineError> {
     let mut versions: Vec<u64> = backend
         .list()?
@@ -52,6 +59,21 @@ pub fn list_versions(backend: &dyn StorageBackend) -> Result<Vec<u64>, EngineErr
     versions.sort_unstable();
     versions.dedup();
     Ok(versions)
+}
+
+/// Every tenant namespace with at least one object in the pool,
+/// ascending. The default tenant (un-prefixed names) is not listed —
+/// it always exists. Prefixes that fail tenant-id validation (foreign
+/// directories someone else made) are skipped, not errors.
+pub fn list_tenants(backend: &dyn StorageBackend) -> Result<Vec<Tenant>, EngineError> {
+    let mut tenants: Vec<Tenant> = backend
+        .list()?
+        .iter()
+        .filter_map(|n| names::split_tenant(n).0.and_then(|t| Tenant::new(t).ok()))
+        .collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    Ok(tenants)
 }
 
 /// Read checkpoint `version` back out of a backend as `(data, aux)` byte
@@ -140,7 +162,15 @@ impl DirBackend {
 
 impl StorageBackend for DirBackend {
     fn put(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
-        write_file_atomic(&self.dir.join(name), bytes)
+        let path = self.dir.join(name);
+        // Tenant-namespaced names (`t1/ckpt_v...`) map to subdirectories;
+        // create them on first write so a fresh pool needs no layout step.
+        if name.contains('/') {
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        write_file_atomic(&path, bytes)
     }
 
     fn get(&self, name: &str) -> Result<Vec<u8>, CkptError> {
@@ -148,10 +178,27 @@ impl StorageBackend for DirBackend {
     }
 
     fn list(&self) -> Result<Vec<String>, CkptError> {
-        let mut names = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            names.push(entry?.file_name().to_string_lossy().into_owned());
+        // Recursive: tenant objects list under their pool-level names
+        // (`t1/ckpt_v...`, `/`-joined regardless of platform separator).
+        fn walk(dir: &std::path::Path, prefix: &str, out: &mut Vec<String>) -> std::io::Result<()> {
+            for entry in fs::read_dir(dir)? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let rel = if prefix.is_empty() {
+                    name
+                } else {
+                    format!("{prefix}/{name}")
+                };
+                if entry.file_type()?.is_dir() {
+                    walk(&entry.path(), &rel, out)?;
+                } else {
+                    out.push(rel);
+                }
+            }
+            Ok(())
         }
+        let mut names = Vec::new();
+        walk(&self.dir, "", &mut names)?;
         Ok(names)
     }
 
@@ -263,7 +310,10 @@ impl ShardedBackend {
     }
 
     fn route(&self, name: &str) -> &dyn StorageBackend {
-        let idx = match names::classify(name) {
+        // Classify within whatever namespace the object lives in, so a
+        // tenant's data shards stripe by index exactly like the default
+        // tenant's.
+        let idx = match names::classify_scoped(name).1 {
             // Data shards stripe round-robin by shard index.
             CkptName::Shard { shard, .. } => shard % self.children.len(),
             _ => {
@@ -306,6 +356,102 @@ impl StorageBackend for ShardedBackend {
     fn label(&self) -> String {
         let inner: Vec<String> = self.children.iter().map(|c| c.label()).collect();
         format!("sharded[{}]", inner.join(", "))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NamespacedBackend — one tenant's view of a shared pool.
+// ---------------------------------------------------------------------------
+
+/// Restricts a shared storage pool to one tenant's namespace (see
+/// [`scrutiny_ckpt::names`], "Tenant namespaces"): `put`/`get`/`delete`
+/// prefix names with `<tenant>/`, `list` returns only this tenant's
+/// objects with the prefix stripped. An engine, recovery manager, prune,
+/// or fault campaign handed a `NamespacedBackend` is tenant-scoped
+/// without knowing tenancy exists — it sees a private pool speaking the
+/// plain grammar.
+///
+/// [`NamespacedBackend::root`] is the **default tenant's** view: names
+/// pass through un-prefixed, and `list` hides every namespaced object,
+/// so root-scope sweeps cannot reach into tenant namespaces even through
+/// backends (like [`MemBackend`]) that never interpret names.
+///
+/// Either view refuses names containing `/` with
+/// [`CkptError::InvalidConfig`]: a namespace escape
+/// (`put("../other", ..)`-style, spelled `other/...` here) is a caller
+/// bug, never silently re-rooted.
+pub struct NamespacedBackend {
+    inner: Arc<dyn StorageBackend>,
+    tenant: Option<Tenant>,
+}
+
+impl NamespacedBackend {
+    /// `tenant`'s view of the pool `inner`.
+    pub fn for_tenant(inner: Arc<dyn StorageBackend>, tenant: Tenant) -> Self {
+        NamespacedBackend {
+            inner,
+            tenant: Some(tenant),
+        }
+    }
+
+    /// The default tenant's (pool root) view of `inner`.
+    pub fn root(inner: Arc<dyn StorageBackend>) -> Self {
+        NamespacedBackend {
+            inner,
+            tenant: None,
+        }
+    }
+
+    /// The tenant this view is scoped to; `None` for the root view.
+    pub fn tenant(&self) -> Option<&Tenant> {
+        self.tenant.as_ref()
+    }
+
+    fn full(&self, name: &str) -> Result<String, CkptError> {
+        if name.contains('/') {
+            return Err(CkptError::InvalidConfig(format!(
+                "name {name:?} escapes the tenant namespace: object names \
+                 inside a namespaced view must not contain '/'"
+            )));
+        }
+        Ok(match &self.tenant {
+            Some(t) => t.scoped(name),
+            None => name.to_string(),
+        })
+    }
+}
+
+impl StorageBackend for NamespacedBackend {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        self.inner.put(&self.full(name)?, bytes)
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, CkptError> {
+        self.inner.get(&self.full(name)?)
+    }
+
+    fn list(&self) -> Result<Vec<String>, CkptError> {
+        let mine = self.tenant.as_ref().map(|t| t.as_str());
+        Ok(self
+            .inner
+            .list()?
+            .into_iter()
+            .filter_map(|n| match names::split_tenant(&n) {
+                (t, local) if t == mine && !local.contains('/') => Some(local.to_string()),
+                _ => None,
+            })
+            .collect())
+    }
+
+    fn delete(&self, name: &str) -> Result<(), CkptError> {
+        self.inner.delete(&self.full(name)?)
+    }
+
+    fn label(&self) -> String {
+        match &self.tenant {
+            Some(t) => format!("tenant:{t}@{}", self.inner.label()),
+            None => format!("tenant:@{}", self.inner.label()),
+        }
     }
 }
 
@@ -372,6 +518,62 @@ mod tests {
             ShardedBackend::new(Vec::new()),
             Err(EngineError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn namespaced_views_partition_one_pool() {
+        let pool: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let t1 = NamespacedBackend::for_tenant(pool.clone(), Tenant::new("t1").unwrap());
+        let t2 = NamespacedBackend::for_tenant(pool.clone(), Tenant::new("t2").unwrap());
+        let root = NamespacedBackend::root(pool.clone());
+        t1.put(&names::data(1), b"one").unwrap();
+        t2.put(&names::data(1), b"two").unwrap();
+        root.put(&names::data(1), b"zero").unwrap();
+        // Same grammar name, three distinct objects.
+        assert_eq!(t1.get(&names::data(1)).unwrap(), b"one");
+        assert_eq!(t2.get(&names::data(1)).unwrap(), b"two");
+        assert_eq!(root.get(&names::data(1)).unwrap(), b"zero");
+        // Each view lists only its own namespace, prefix-stripped.
+        assert_eq!(t1.list().unwrap(), [names::data(1)]);
+        assert_eq!(root.list().unwrap(), [names::data(1)]);
+        assert_eq!(list_versions(&t1).unwrap(), [1]);
+        // Deleting in one namespace leaves the others intact.
+        t1.delete(&names::data(1)).unwrap();
+        assert!(t1.get(&names::data(1)).is_err());
+        assert_eq!(t2.get(&names::data(1)).unwrap(), b"two");
+        assert_eq!(root.get(&names::data(1)).unwrap(), b"zero");
+        // Escapes are refused, not re-rooted.
+        assert!(matches!(
+            t1.put("t2/evil", b"x"),
+            Err(CkptError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            root.get("t2/ckpt_000001.data"),
+            Err(CkptError::InvalidConfig(_))
+        ));
+        let mut tenants: Vec<String> = list_tenants(pool.as_ref())
+            .unwrap()
+            .iter()
+            .map(|t| t.as_str().to_string())
+            .collect();
+        tenants.sort();
+        assert_eq!(tenants, ["t2"]);
+    }
+
+    #[test]
+    fn dir_backend_lists_tenant_subdirectories() {
+        let dir = std::env::temp_dir().join(format!("scrutiny_dirbk_ns_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let b = DirBackend::open(&dir).unwrap();
+        b.put("ckpt_000001.data", b"root").unwrap();
+        b.put("t1/ckpt_000001.data", b"tenant").unwrap();
+        assert_eq!(b.get("t1/ckpt_000001.data").unwrap(), b"tenant");
+        let mut all = b.list().unwrap();
+        all.sort();
+        assert_eq!(all, ["ckpt_000001.data", "t1/ckpt_000001.data"]);
+        b.delete("t1/ckpt_000001.data").unwrap();
+        assert_eq!(b.list().unwrap(), ["ckpt_000001.data"]);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

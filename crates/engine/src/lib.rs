@@ -83,15 +83,15 @@ pub mod recovery;
 pub mod snapshot;
 
 pub use backend::{
-    list_versions, prune_chain_aware, read_version, DirBackend, MemBackend, ShardedBackend,
-    StorageBackend,
+    list_tenants, list_versions, prune_chain_aware, read_version, DirBackend, MemBackend,
+    NamespacedBackend, ShardedBackend, StorageBackend,
 };
 pub use engine::{EngineConfig, EngineHandle, Layout, Ticket};
 pub use error::EngineError;
 pub use recovery::{
     Recovered, RecoveryConfig, RecoveryManager, RecoveryReport, RecoveryWalk, RejectedVersion,
 };
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, StagingGate};
 // Re-export the delta-chain policy and the restore pipeline's knobs so
 // delta-mode engines and recovery callers configure from one crate.
 pub use scrutiny_ckpt::delta::DeltaPolicy;

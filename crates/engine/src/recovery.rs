@@ -134,7 +134,9 @@ fn is_integrity_failure(e: &CkptError) -> bool {
         | CkptError::MissingVar(_)
         | CkptError::PlanMismatch(_) => true,
         CkptError::Io(io) => io.kind() == std::io::ErrorKind::NotFound,
-        CkptError::InvalidConfig(_) => false,
+        // Policy refusals (quota, backpressure, drain) and bad
+        // configuration say nothing about the stored bytes: abort.
+        CkptError::InvalidConfig(_) | CkptError::Rejected(_) => false,
     }
 }
 
@@ -184,7 +186,7 @@ impl RecoveryManager {
                 CkptName::Shard { version, .. } => {
                     versions.insert(version);
                 }
-                CkptName::Tmp | CkptName::Other => {}
+                CkptName::Tmp | CkptName::Foreign | CkptName::Other => {}
             }
         }
         (versions.into_iter().rev().collect(), committed)

@@ -44,15 +44,19 @@ impl Snapshot {
     }
 }
 
-/// Counting gate over staged snapshots (a tiny semaphore; `std` has none).
-pub(crate) struct StagingGate {
+/// Counting gate over staged snapshots (a tiny semaphore; `std` has
+/// none). Public because it is the engine's double-buffered admission
+/// primitive: `scrutinyd` reuses it per tenant to bound how many
+/// submissions a tenant may have in flight against the shared pool.
+pub struct StagingGate {
     staged: Mutex<usize>,
     cv: Condvar,
     capacity: usize,
 }
 
 impl StagingGate {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A gate admitting at most `capacity` concurrent holders.
+    pub fn new(capacity: usize) -> Self {
         StagingGate {
             staged: Mutex::new(0),
             cv: Condvar::new(),
@@ -61,7 +65,7 @@ impl StagingGate {
     }
 
     /// Block until a staging slot is free, then claim it.
-    pub(crate) fn acquire(&self) {
+    pub fn acquire(&self) {
         let mut n = self.staged.lock().unwrap();
         while *n >= self.capacity {
             n = self.cv.wait(n).unwrap();
@@ -70,7 +74,7 @@ impl StagingGate {
     }
 
     /// Return a slot (called when a submission resolves, success or not).
-    pub(crate) fn release(&self) {
+    pub fn release(&self) {
         let mut n = self.staged.lock().unwrap();
         debug_assert!(*n > 0, "staging gate released more than acquired");
         *n = n.saturating_sub(1);

@@ -12,13 +12,21 @@
 //! * [`storage`] — damage checkpoint *objects* at rest (truncated
 //!   shards, flipped payload bytes, deleted delta bases, missing commit
 //!   markers) to exercise the recovery pipeline's corruption fallback.
+//!
+//! A third layer targets the *service* path: [`net`] proxies a
+//! `scrutinyd` connection and damages the byte stream itself (torn
+//! frames, dropped connections mid-publish, garbage length prefixes),
+//! validating that remote clients surface typed errors and never wedge
+//! a submitting engine's chain.
 
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod corruption;
+pub mod net;
 pub mod storage;
 
 pub use campaign::{campaign_matrix, run_campaign, CampaignConfig, CampaignReport, Target};
 pub use corruption::Corruption;
+pub use net::{FaultProxy, NetFault};
 pub use storage::{StorageFault, StorageScenario};

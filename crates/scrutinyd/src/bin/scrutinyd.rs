@@ -1,0 +1,104 @@
+//! The `scrutinyd` daemon binary: serve a directory-backed checkpoint
+//! pool to many tenants over a TCP or Unix socket.
+//!
+//! ```text
+//! scrutinyd --dir POOL_DIR [--tcp ADDR | --unix PATH] [--obs FILE]
+//!           [--admission N] [--max-versions N] [--max-object-bytes N]
+//!           [--max-inflight-bytes N]
+//! ```
+//!
+//! Runs until a client sends the shutdown control frame (e.g.
+//! `RemoteBackend::shutdown_daemon`), then drains and exits; with
+//! `--obs`, the final observability snapshot is written there as JSONL.
+
+use scrutiny_engine::DirBackend;
+use scrutiny_obs::Recorder;
+use scrutinyd::{Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn usage(err: &str) -> ! {
+    eprintln!("scrutinyd: {err}");
+    eprintln!(
+        "usage: scrutinyd --dir POOL_DIR [--tcp ADDR | --unix PATH] [--obs FILE] \
+         [--admission N] [--max-versions N] [--max-object-bytes N] [--max-inflight-bytes N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut dir: Option<PathBuf> = None;
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut cfg = DaemonConfig {
+        recorder: Recorder::new(),
+        ..DaemonConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value("--dir"))),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--unix" => unix = Some(PathBuf::from(value("--unix"))),
+            "--obs" => cfg.obs_jsonl = Some(PathBuf::from(value("--obs"))),
+            "--admission" => {
+                cfg.admission = value("--admission")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--admission wants an integer"))
+            }
+            "--max-versions" => {
+                cfg.max_versions = Some(
+                    value("--max-versions")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--max-versions wants an integer")),
+                )
+            }
+            "--max-object-bytes" => {
+                cfg.max_object_bytes = Some(
+                    value("--max-object-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--max-object-bytes wants an integer")),
+                )
+            }
+            "--max-inflight-bytes" => {
+                cfg.max_inflight_bytes = Some(
+                    value("--max-inflight-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--max-inflight-bytes wants an integer")),
+                )
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        usage("--dir is required");
+    };
+    if tcp.is_some() && unix.is_some() {
+        usage("--tcp and --unix are mutually exclusive");
+    }
+    let pool = match DirBackend::open(&dir) {
+        Ok(b) => Arc::new(b),
+        Err(e) => usage(&format!("cannot open pool directory: {e}")),
+    };
+    let daemon = match unix {
+        Some(path) => Daemon::spawn_unix(path, pool, cfg),
+        None => Daemon::spawn_tcp(tcp.as_deref().unwrap_or("127.0.0.1:0"), pool, cfg),
+    };
+    let daemon = match daemon {
+        Ok(d) => d,
+        Err(e) => usage(&format!("cannot bind: {e}")),
+    };
+    println!(
+        "scrutinyd serving {} on {}",
+        dir.display(),
+        daemon.endpoint()
+    );
+    if let Err(e) = daemon.wait() {
+        eprintln!("scrutinyd: shutdown error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -47,6 +47,10 @@ pub use scrutiny_npb as npb;
 /// Fault-injection campaigns validating criticality maps.
 pub use scrutiny_faultinj as faultinj;
 
+/// Multi-tenant checkpoint daemon and its wire-protocol client:
+/// [`scrutinyd::Daemon`], [`scrutinyd::RemoteBackend`].
+pub use scrutinyd as daemon;
+
 /// ASCII/PGM/SVG visualization of criticality distributions.
 pub use scrutiny_viz as viz;
 

@@ -1,0 +1,148 @@
+//! Wire-fault suite: a [`FaultProxy`] between a `RemoteBackend` and a
+//! live `scrutinyd` damages the byte stream itself — torn response
+//! frames, connections dropped mid-publish, garbage length prefixes —
+//! and every fault must surface as a *typed* error on the client while
+//! leaving both ends usable: the daemon keeps serving, and the same
+//! engine's next epoch succeeds (the no-wedge contract: a broken
+//! connection dies with its error; it is never returned to the pool).
+
+use scrutiny_ckpt::names::{self, Tenant};
+use scrutiny_ckpt::CkptError;
+use scrutiny_ckpt::{VarData, VarPlan, VarRecord};
+use scrutiny_engine::{
+    EngineConfig, EngineError, EngineHandle, MemBackend, RecoveryConfig, RecoveryManager,
+    StorageBackend,
+};
+use scrutiny_faultinj::{FaultProxy, NetFault};
+use scrutinyd::{Daemon, DaemonConfig, Endpoint, RemoteBackend};
+use std::sync::Arc;
+
+/// A TCP daemon with a fault proxy in front of it; clients dial the
+/// proxy.
+fn rig(fault: NetFault) -> (Daemon, FaultProxy) {
+    let pool = Arc::new(MemBackend::new());
+    let daemon = Daemon::spawn_tcp("127.0.0.1:0", pool, DaemonConfig::default()).unwrap();
+    let Endpoint::Tcp(addr) = daemon.endpoint() else {
+        unreachable!("spawn_tcp yields a TCP endpoint")
+    };
+    let proxy = FaultProxy::spawn(addr, fault).unwrap();
+    (daemon, proxy)
+}
+
+fn via(proxy: &FaultProxy) -> RemoteBackend {
+    RemoteBackend::connect(
+        Endpoint::Tcp(proxy.addr().to_string()),
+        Some(Tenant::new("wire").unwrap()),
+    )
+    .unwrap()
+}
+
+fn vars(seed: f64) -> Vec<VarRecord> {
+    vec![VarRecord::new(
+        "u",
+        VarData::F64((0..512).map(|i| seed + i as f64).collect()),
+    )]
+}
+
+#[test]
+fn truncated_response_is_a_typed_eof_then_the_backend_recovers() {
+    let (daemon, proxy) = rig(NetFault::TruncateResponse { bytes: 2 });
+    let remote = via(&proxy);
+    remote.put(&names::data(0), &[7u8; 256]).unwrap();
+
+    proxy.arm();
+    let err = remote.get(&names::data(0)).unwrap_err();
+    match err {
+        CkptError::Io(e) => assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::UnexpectedEof,
+            "torn frame reads as EOF, got {e}"
+        ),
+        other => panic!("want Io(UnexpectedEof), got {other}"),
+    }
+    assert!(!proxy.is_armed(), "one-shot fault fired");
+
+    // The broken connection was discarded, not pooled: the very next
+    // operation dials fresh and succeeds against the same daemon.
+    assert_eq!(remote.get(&names::data(0)).unwrap(), vec![7u8; 256]);
+    drop(proxy);
+    daemon.join().unwrap();
+}
+
+#[test]
+fn garbage_length_prefix_is_refused_before_allocation() {
+    let (daemon, proxy) = rig(NetFault::GarbageResponseLength);
+    let remote = via(&proxy);
+    remote.put(&names::data(0), &[1u8; 64]).unwrap();
+
+    proxy.arm();
+    let err = remote.get(&names::data(0)).unwrap_err();
+    match err {
+        CkptError::Io(e) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+            assert!(
+                e.to_string().contains("length prefix"),
+                "error names the corrupt prefix: {e}"
+            );
+        }
+        other => panic!("want Io(InvalidData), got {other}"),
+    }
+
+    // No wedge: fresh dial, clean read.
+    assert_eq!(remote.get(&names::data(0)).unwrap(), vec![1u8; 64]);
+    drop(proxy);
+    daemon.join().unwrap();
+}
+
+#[test]
+fn dropped_connection_mid_publish_fails_one_epoch_not_the_chain() {
+    let (daemon, proxy) = rig(NetFault::DropMidRequest { bytes: 64 });
+    let remote = Arc::new(via(&proxy));
+    // One worker so the faulted epoch is the only in-flight submission.
+    let engine = EngineHandle::open(
+        remote.clone(),
+        EngineConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // Epoch 0 publishes cleanly through the disarmed proxy.
+    let t = engine.submit(&vars(0.0), &[VarPlan::Full]).unwrap();
+    engine.wait(t).unwrap();
+
+    // Epoch 1 dies mid-flight: the proxy forwards 64 request bytes and
+    // drops the connection. The failure is typed and scoped to the
+    // ticket.
+    proxy.arm();
+    let t = engine.submit(&vars(1.0), &[VarPlan::Full]).unwrap();
+    let err = engine.wait(t).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Ckpt(CkptError::Io(_) | CkptError::Rejected(_))
+        ),
+        "want a typed wire error, got {err}"
+    );
+    assert!(!proxy.is_armed(), "fault consumed by the doomed epoch");
+
+    // Epoch 2 goes through the same engine, same backend, untouched.
+    let t = engine.submit(&vars(2.0), &[VarPlan::Full]).unwrap();
+    engine.wait(t).unwrap();
+    drop(engine);
+
+    // Recovery over the wire lands on the newest *committed* version:
+    // the torn epoch never half-published.
+    let r = RecoveryManager::new(remote.clone(), RecoveryConfig::default())
+        .recover_latest()
+        .unwrap();
+    assert_eq!(r.version, 2);
+    assert!(
+        !r.report.rejected_versions().contains(&0) && !r.report.rejected_versions().contains(&2),
+        "intact versions stay accepted: {:?}",
+        r.report.rejected_versions()
+    );
+    drop(proxy);
+    daemon.join().unwrap();
+}
