@@ -31,6 +31,10 @@ use std::sync::Arc;
 
 /// A backend holding `epochs` sharded FT checkpoints.
 fn sharded_backend(epochs: usize) -> Arc<MemBackend> {
+    sharded_backend_with(epochs, scrutiny_ckpt::CodecConfig::default())
+}
+
+fn sharded_backend_with(epochs: usize, codec: scrutiny_ckpt::CodecConfig) -> Arc<MemBackend> {
     let app = Ft::class_s();
     let analysis = scrutinize(&app).unwrap();
     let mut vars = capture_state(&app);
@@ -42,6 +46,7 @@ fn sharded_backend(epochs: usize) -> Arc<MemBackend> {
             workers: 4,
             target_shards: 8,
             layout: Layout::Sharded,
+            codec,
             ..Default::default()
         },
     )
@@ -100,18 +105,24 @@ fn bench_recovery_scan(c: &mut Criterion) {
 }
 
 /// Headline numbers printed after the criterion groups: measured
-/// parallel-vs-serial restore ratio and the per-rejection scan cost.
-fn restore_summary() {
+/// parallel-vs-serial restore ratio (also recorded as the canonical
+/// `restore.*.bytes_per_sec` meta fields, in reconstructed image bytes
+/// per second), the at-rest footprint ratio of the same checkpoint
+/// published compressed (`at_rest.compression_ratio`), and the restore
+/// rate through the decompression path.
+fn restore_summary(summary: &mut scrutiny_bench::BenchSummary) {
     use std::time::Instant;
     let mem = sharded_backend(1);
     let fetch = |name: &str| mem.get(name);
     const REPS: u32 = 20;
 
     let t0 = Instant::now();
+    let mut image_bytes = 0usize;
     for _ in 0..REPS {
-        black_box(read_data_image(0, fetch).unwrap());
+        image_bytes = black_box(read_data_image(0, fetch).unwrap()).len();
     }
     let serial = t0.elapsed() / REPS;
+    summary.set_bytes_per_sec("restore.serial", image_bytes, serial);
 
     println!("\nFT class S sharded restore (image reconstruction + CRC verify):");
     println!("  serial      {serial:>10.1?}");
@@ -121,19 +132,50 @@ fn restore_summary() {
             black_box(read_data_image_parallel(0, &fetch, &RestoreOptions { threads }).unwrap());
         }
         let par = t0.elapsed() / REPS;
+        summary.set_bytes_per_sec(&format!("restore.parallel_{threads}"), image_bytes, par);
         println!(
             "  parallel x{threads} {par:>10.1?}   ({:.2}x vs serial)",
             serial.as_secs_f64() / par.as_secs_f64().max(1e-12)
         );
     }
+
+    // The same checkpoint published with the SCRUTCZB at-rest codec:
+    // footprint ratio, plus restore throughput through the decode path
+    // (the image that comes back is bit-identical either way).
+    let raw_total = mem.total_bytes();
+    let zmem = sharded_backend_with(
+        1,
+        scrutiny_ckpt::CodecConfig {
+            at_rest: scrutiny_ckpt::AtRest::Auto,
+            ..Default::default()
+        },
+    );
+    let zfetch = |name: &str| zmem.get(name);
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let img = black_box(
+            read_data_image_parallel(0, &zfetch, &RestoreOptions { threads: 4 }).unwrap(),
+        )
+        .0;
+        assert_eq!(img.len(), image_bytes, "compressed restore must match");
+    }
+    let zpar = t0.elapsed() / REPS;
+    summary.set_bytes_per_sec("restore.compressed_parallel_4", image_bytes, zpar);
+    summary.set_compression_ratio("at_rest", raw_total, zmem.total_bytes());
+    println!(
+        "  compressed x4 {zpar:>8.1?}   (backend {} B raw vs {} B compressed, ratio {:.3})",
+        raw_total,
+        zmem.total_bytes(),
+        zmem.total_bytes() as f64 / raw_total.max(1) as f64
+    );
 }
 
 criterion_group!(benches, bench_restore, bench_recovery_scan);
 
 fn main() {
     benches();
-    let summary = scrutiny_bench::BenchSummary::new("restore_recovery");
+    let mut summary = scrutiny_bench::BenchSummary::new("restore_recovery");
     summary.absorb_criterion();
-    restore_summary();
+    restore_summary(&mut summary);
     summary.write_and_report();
 }

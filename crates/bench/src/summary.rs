@@ -70,6 +70,28 @@ impl BenchSummary {
         self.meta.push((key.to_string(), value.into()));
     }
 
+    /// Attach the canonical `<prefix>.bytes_per_sec` throughput meta
+    /// field: `bytes` processed end to end in `elapsed`. The shared name
+    /// is what lets cross-PR tooling compare hot paths without
+    /// per-bench glue; a zero elapsed records 0 rather than infinity.
+    pub fn set_bytes_per_sec(&mut self, prefix: &str, bytes: usize, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 { bytes as f64 / secs } else { 0.0 };
+        self.set_meta(&format!("{prefix}.bytes_per_sec"), rate);
+    }
+
+    /// Attach the canonical `<prefix>.compression_ratio` meta field:
+    /// stored bytes over raw bytes (1.0 = no shrink, smaller = better).
+    /// A zero raw size records 1.0 — an empty input was not compressed.
+    pub fn set_compression_ratio(&mut self, prefix: &str, raw: usize, stored: usize) {
+        let ratio = if raw > 0 {
+            stored as f64 / raw as f64
+        } else {
+            1.0
+        };
+        self.set_meta(&format!("{prefix}.compression_ratio"), ratio);
+    }
+
     /// Where [`BenchSummary::write`] will put the file.
     pub fn path(&self) -> PathBuf {
         let dir = std::env::var_os(BENCH_DIR_ENV)

@@ -104,6 +104,68 @@ pub struct DeltaStats {
     pub payload_bytes: usize,
 }
 
+/// Word-scanning page comparison: an early-exit check on the first
+/// 8-byte word (a dirty page almost always differs immediately — the
+/// diff loop runs once per page, so the prefix check short-circuits the
+/// common dirty case), then 16-byte word compares, then a byte tail.
+/// Must agree with [`pages_equal_scalar`] on every input — the
+/// round-trip proptest pins that.
+#[inline]
+pub fn pages_equal(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    if a.len() >= 8
+        && u64::from_ne_bytes(a[..8].try_into().unwrap())
+            != u64::from_ne_bytes(b[..8].try_into().unwrap())
+    {
+        return false;
+    }
+    let mut wa = a.chunks_exact(16);
+    let mut wb = b.chunks_exact(16);
+    for (ca, cb) in wa.by_ref().zip(wb.by_ref()) {
+        if u128::from_ne_bytes(ca.try_into().unwrap())
+            != u128::from_ne_bytes(cb.try_into().unwrap())
+        {
+            return false;
+        }
+    }
+    wa.remainder()
+        .iter()
+        .zip(wb.remainder())
+        .all(|(x, y)| x == y)
+}
+
+/// Byte-at-a-time reference for [`pages_equal`] — the baseline the
+/// vectorized comparison is proven bit-identical to.
+pub fn pages_equal_scalar(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+/// Copy a page with unaligned 16-byte word loads/stores plus a byte
+/// tail. `dst` and `src` must be the same length.
+#[inline]
+pub fn copy_page(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut ws = src.chunks_exact(16);
+    let mut wd = dst.chunks_exact_mut(16);
+    for (d, s) in wd.by_ref().zip(ws.by_ref()) {
+        let w = u128::from_ne_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for (d, s) in wd.into_remainder().iter_mut().zip(ws.remainder()) {
+        *d = *s;
+    }
+}
+
+/// Byte-at-a-time reference for [`copy_page`].
+pub fn copy_page_scalar(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = *s;
+    }
+}
+
 /// Diff `new` against `parent` at `page_bytes` granularity and serialize
 /// the result as a `SCRUTDLT` file that patches checkpoint
 /// `parent_version`. A page is dirty when its bytes differ from the same
@@ -122,7 +184,7 @@ pub fn diff_images(
         stats.total_pages += 1;
         let start = i * page_bytes;
         let end = start + page.len();
-        let clean = end <= parent.len() && &parent[start..end] == page;
+        let clean = end <= parent.len() && pages_equal(&parent[start..end], page);
         if !clean {
             stats.dirty_pages += 1;
             stats.payload_bytes += page.len();
@@ -150,19 +212,28 @@ pub fn diff_images(
 /// The parent version a delta file patches. Reads only the fixed header —
 /// no CRC pass — so retention sweeps can classify chains cheaply; a file
 /// too short to hold the header (or with the wrong magic) is rejected.
+/// A delta stored inside a `SCRUTCZB` container is decoded first (the
+/// caller holding full object bytes is the common retention path).
 pub fn parent_version(delta: &[u8]) -> Result<u64, CkptError> {
+    if crate::compress::is_container(delta) {
+        return parent_header(&crate::compress::decompress(delta)?);
+    }
     parent_header(delta)
 }
 
 /// [`parent_version`] of the delta file at `path`, reading only the
 /// header bytes from disk — retention runs on every save, and a prune
 /// must not pull whole dirty-page payloads into memory just to follow a
-/// 8-byte parent pointer.
+/// 8-byte parent pointer. Compressed deltas (container magic in the
+/// prefix) are the exception: the whole file is read and decoded.
 pub fn parent_version_at(path: &std::path::Path) -> Result<u64, CkptError> {
     use std::io::Read;
     let f = std::fs::File::open(path)?;
     let mut buf = Vec::with_capacity(HEADER_LEN + 4);
     f.take((HEADER_LEN + 4) as u64).read_to_end(&mut buf)?;
+    if crate::compress::is_container(&buf) {
+        return parent_version(&std::fs::read(path)?);
+    }
     parent_header(&buf)
 }
 
@@ -237,7 +308,7 @@ pub(crate) fn apply_delta_verified(parent: &[u8], delta: &[u8]) -> Result<Vec<u8
         if pos + len > body.len() {
             return Err(CkptError::Corrupt("delta page payload truncated".into()));
         }
-        out[start..start + len].copy_from_slice(&body[pos..pos + len]);
+        copy_page(&mut out[start..start + len], &body[pos..pos + len]);
         pos += len;
     }
     if pos != body.len() {
@@ -276,11 +347,15 @@ pub(crate) enum ChainBase {
 /// [`read_data_image`] and the parallel
 /// [`crate::restore::read_data_image_parallel`], so layout probing,
 /// cycle rejection, and the chain-length bound cannot drift between the
-/// two readers.
+/// two readers. Objects stored inside `SCRUTCZB` compression containers
+/// are decoded transparently here, so both readers (and everything above
+/// them: store loads, engine recovery, the daemon) handle compressed and
+/// raw checkpoints interchangeably.
 pub(crate) fn walk_chain(
     version: u64,
     mut fetch: impl FnMut(&str) -> Result<Vec<u8>, CkptError>,
 ) -> Result<(ChainBase, Vec<Vec<u8>>), CkptError> {
+    let mut fetch = |name: &str| fetch(name).and_then(crate::compress::maybe_decompress);
     let mut deltas: Vec<Vec<u8>> = Vec::new();
     let mut v = version;
     let base = loop {
@@ -334,7 +409,9 @@ pub fn read_data_image(
         ChainBase::Monolithic(data) => data,
         ChainBase::Sharded { version, manifest } => {
             let shards: Vec<Vec<u8>> = (0..manifest.shard_count())
-                .map(|i| fetch(&names::shard(version, i)))
+                .map(|i| {
+                    fetch(&names::shard(version, i)).and_then(crate::compress::maybe_decompress)
+                })
                 .collect::<Result<_, _>>()?;
             manifest.assemble(&shards)?
         }
@@ -460,6 +537,33 @@ mod tests {
         (0..len)
             .map(|i| (i as u8).wrapping_mul(31) ^ seed)
             .collect()
+    }
+
+    #[test]
+    fn word_compare_and_copy_match_scalar_at_every_length_and_position() {
+        // Lengths straddling the 16-byte word size, the 8-byte prefix,
+        // and both tails; a flipped byte at every position.
+        for len in 0..48usize {
+            let a = image(len, 7);
+            assert_eq!(pages_equal(&a, &a), pages_equal_scalar(&a, &a));
+            assert!(pages_equal(&a, &a));
+            for at in 0..len {
+                let mut b = a.clone();
+                b[at] ^= 0x10;
+                assert_eq!(pages_equal(&a, &b), pages_equal_scalar(&a, &b));
+                assert!(!pages_equal(&a, &b), "len={len} at={at}");
+            }
+            let mut b = a.clone();
+            b.push(0);
+            assert!(!pages_equal(&a, &b));
+
+            let mut dst_v = vec![0xAAu8; len];
+            let mut dst_s = vec![0xAAu8; len];
+            copy_page(&mut dst_v, &a);
+            copy_page_scalar(&mut dst_s, &a);
+            assert_eq!(dst_v, a);
+            assert_eq!(dst_v, dst_s);
+        }
     }
 
     #[test]

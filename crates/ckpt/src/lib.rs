@@ -25,6 +25,11 @@
 //!   full image, epochs N+1… store only the dirty pages of the AD-pruned
 //!   data file, so temporal and semantic pruning compose; reconstruction
 //!   is bit-identical to a monolithic save.
+//! * [`compress`] — the optional `SCRUTCZB` at-rest compression
+//!   container (self-written RLE and bit-plane codecs, byte-exact) and
+//!   the lossy lo-tier element codec ([`LoCodec`]) that turns the
+//!   paper's uncritical verdict into truncated-mantissa storage,
+//!   gated by §IV.C restart-verification.
 //! * [`incremental`] — a page-granularity incremental *accounting*
 //!   baseline (à la dirty-page tracking, cf. Vasavada et al. in the
 //!   paper's related work) for storage comparisons.
@@ -36,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod compress;
 pub mod delta;
 pub mod format;
 pub mod incremental;
@@ -48,6 +54,7 @@ pub mod store;
 pub mod writer;
 
 pub use bitmap::Bitmap;
+pub use compress::{AtRest, CodecConfig, LoCodec};
 pub use delta::{DeltaPolicy, DeltaStats};
 pub use format::{
     CkptError, Crc32, DType, FillPolicy, StorageBreakdown, VarData, VarPlan, VarRecord,
@@ -58,6 +65,12 @@ pub use regions::{Region, Regions};
 pub use restore::{
     read_data_image_parallel, read_data_image_parallel_obs, RestoreOptions, RestoreStats,
 };
-pub use shard::{plan_shards, seal_shards, serialize_shard, ShardManifest, ShardPlan};
+pub use shard::{
+    plan_shards, plan_shards_with, seal_shards, serialize_shard, ShardManifest, ShardPlan,
+};
 pub use store::CheckpointStore;
-pub use writer::{serialize_aux, serialize_data, write_checkpoint, write_file_atomic};
+pub use writer::{
+    rebalance_breakdown, serialize, serialize_aux, serialize_data, serialize_data_with,
+    serialize_with, write_checkpoint, write_checkpoint_with, write_file_atomic,
+    SerializedCheckpoint,
+};

@@ -154,9 +154,6 @@ impl<'a> Cursor<'a> {
     fn f64(&mut self) -> Result<f64, CkptError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn f32(&mut self) -> Result<f32, CkptError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
     fn i64(&mut self) -> Result<i64, CkptError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
@@ -228,7 +225,16 @@ impl Checkpoint {
         // --- data file ----------------------------------------------------
         let body = check_envelope(data, b"SCRUTCKP", "data")?;
         let mut c = Cursor { buf: body, pos: 8 };
-        let _ver = c.u32()?;
+        let ver = c.u32()?;
+        let lo_codec = match ver {
+            crate::writer::FORMAT_VERSION => crate::compress::LoCodec::F32,
+            crate::writer::FORMAT_VERSION_TIERED => crate::compress::LoCodec::from_tag(c.u8()?)?,
+            v => {
+                return Err(CkptError::Corrupt(format!(
+                    "unsupported data format version {v}"
+                )))
+            }
+        };
         let nvars_d = c.u32()? as usize;
         if nvars_d != nvars {
             return Err(CkptError::Corrupt(format!(
@@ -279,8 +285,9 @@ impl Checkpoint {
                         stored.push(c.f64()?);
                     }
                     let lo = c.u64()? as usize;
+                    let width = lo_codec.width();
                     for _ in 0..lo {
-                        stored.push(f64::from(c.f32()?));
+                        stored.push(lo_codec.decode(c.take(width)?));
                     }
                 }
                 m => return Err(CkptError::Corrupt(format!("unknown data mode {m}"))),
@@ -451,6 +458,44 @@ mod tests {
         assert_eq!(got[1], vals[1]);
         assert_eq!(got[2], 0.0); // dropped
         assert_eq!(got[3], vals[3] as f32 as f64); // f32 round-trip
+    }
+
+    #[test]
+    fn tiered_v2_truncated_lo_roundtrips_within_bound() {
+        use crate::compress::LoCodec;
+        use crate::writer::serialize_with;
+        let vals: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+        let vars = vec![VarRecord::new("u", VarData::F64(vals.clone()))];
+        let hi = Regions::from_runs(vec![Region { start: 0, end: 10 }]);
+        let lo = Regions::from_runs(vec![Region { start: 10, end: 40 }]);
+        let plans = vec![VarPlan::Tiered { hi, lo }];
+        for keep in [2u8, 4, 6] {
+            let codec = LoCodec::Trunc { keep };
+            let ser = serialize_with(&vars, &plans, codec).unwrap();
+            let ck = Checkpoint::from_bytes(&ser.data, &ser.aux).unwrap();
+            let got = ck
+                .var("u")
+                .unwrap()
+                .materialize_f64(FillPolicy::Zero)
+                .unwrap();
+            for i in 0..10 {
+                assert_eq!(got[i], vals[i], "hi tier stays exact (keep={keep})");
+            }
+            for i in 10..40 {
+                assert_eq!(got[i], codec.apply(vals[i]), "lo tier (keep={keep})");
+            }
+        }
+        // An unknown future version is a typed parse error, not a panic.
+        let ser = serialize(&vars, &plans).unwrap();
+        let mut bad = ser.data.clone();
+        bad[8] = 9; // version field
+        let body_len = bad.len() - 4;
+        let crc = crate::format::crc32(&bad[..body_len]);
+        bad[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad, &ser.aux),
+            Err(CkptError::Corrupt(_))
+        ));
     }
 
     #[test]

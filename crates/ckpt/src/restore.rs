@@ -194,8 +194,9 @@ where
 
 /// [`read_data_image_parallel`] reporting into a [`Recorder`]: the whole
 /// restore runs under a `ckpt.restore` span (emitted even when the
-/// restore fails, so rejected recovery candidates leave a trace), a
-/// `ckpt.restore.image` point carries what the pipeline did, and the
+/// restore fails, so rejected recovery candidates leave a trace), each
+/// `SCRUTCZB`-compressed object decodes under a `ckpt.decompress` span,
+/// a `ckpt.restore.image` point carries what the pipeline did, and the
 /// stats land as `ckpt.restore.*` gauges ([`RestoreStats::emit`]). With
 /// a disabled recorder this is exactly the unobserved function.
 pub fn read_data_image_parallel_obs<F>(
@@ -208,7 +209,19 @@ where
     F: Fn(&str) -> Result<Vec<u8>, CkptError> + Sync,
 {
     let _restore = span!(rec, "ckpt.restore", version = version);
-    let (image, stats) = read_data_image_parallel(version, fetch, opts)?;
+    // Decode compressed objects up here, under an explicit span; the
+    // sniffing decode points further down then see raw bytes and no-op.
+    let fetch = |name: &str| {
+        let bytes = fetch(name)?;
+        if crate::compress::is_container(&bytes) {
+            let stored = bytes.len();
+            let _d = span!(rec, "ckpt.decompress", stored_bytes = stored as u64);
+            crate::compress::decompress(&bytes)
+        } else {
+            Ok(bytes)
+        }
+    };
+    let (image, stats) = read_data_image_parallel(version, &fetch, opts)?;
     stats.emit(rec);
     rec.event(
         "ckpt.restore.image",
@@ -243,7 +256,8 @@ where
                 len,
                 crc,
             } => {
-                let bytes = fetch(&names::shard(version, idx))?;
+                let bytes = fetch(&names::shard(version, idx))
+                    .and_then(crate::compress::maybe_decompress)?;
                 if bytes.len() as u64 != len {
                     return Err(CkptError::Corrupt(format!(
                         "shard {idx} is {} bytes, manifest says {len}",

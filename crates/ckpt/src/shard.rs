@@ -23,9 +23,11 @@
 //! a `ckpt_v.smf` manifest); [`crate::reader::Checkpoint::load`] accepts
 //! both layouts.
 
+use crate::compress::LoCodec;
 use crate::format::{crc32, CkptError, Crc32, VarData, VarPlan, VarRecord};
 use crate::writer::{
     plan_mode, put_u16, put_u32, put_u64, validate, write_elements, DATA_MAGIC, FORMAT_VERSION,
+    FORMAT_VERSION_TIERED,
 };
 
 const MANIFEST_MAGIC: &[u8; 8] = b"SCRUTSHM";
@@ -67,6 +69,9 @@ enum Op {
 #[derive(Clone, Debug)]
 pub struct ShardPlan {
     chunks: Vec<Vec<Op>>,
+    /// Lo-tier element codec the shards serialize with; carried in the
+    /// plan so every worker emits the same format version and widths.
+    lo_codec: LoCodec,
 }
 
 impl ShardPlan {
@@ -78,11 +83,11 @@ impl ShardPlan {
     }
 }
 
-fn section_elem_bytes(dtype: crate::DType, section: Section) -> u64 {
+fn section_elem_bytes(dtype: crate::DType, section: Section, lo_codec: LoCodec) -> u64 {
     match section {
         Section::Main => dtype.elem_bytes() as u64,
         Section::Hi => 8,
-        Section::Lo => 4,
+        Section::Lo => lo_codec.width() as u64,
     }
 }
 
@@ -106,12 +111,26 @@ pub fn plan_shards(
     plans: &[VarPlan],
     target_shards: usize,
 ) -> Result<ShardPlan, CkptError> {
+    plan_shards_with(vars, plans, target_shards, LoCodec::F32)
+}
+
+/// [`plan_shards`] with an explicit lo-tier codec: the codec changes the
+/// lo section's element width (and the emitted format version), so it
+/// must shape the split too — the shards stay bit-identical to
+/// [`crate::writer::serialize_data_with`] of the same codec.
+pub fn plan_shards_with(
+    vars: &[VarRecord],
+    plans: &[VarPlan],
+    target_shards: usize,
+    lo_codec: LoCodec,
+) -> Result<ShardPlan, CkptError> {
     if target_shards == 0 {
         return Err(CkptError::InvalidConfig(
             "a shard plan needs at least one shard".into(),
         ));
     }
     validate(vars, plans)?;
+    lo_codec.validate()?;
 
     // Flatten the file into ops, tracking payload bytes per element op.
     struct SizedOp {
@@ -144,7 +163,7 @@ pub fn plan_shards(
                 });
             }
             let covered = section_covered(p, s, v.data.len() as u64);
-            let eb = section_elem_bytes(v.data.dtype(), s);
+            let eb = section_elem_bytes(v.data.dtype(), s, lo_codec);
             total_payload += covered * eb;
             if covered > 0 {
                 ops.push(SizedOp {
@@ -197,7 +216,7 @@ pub fn plan_shards(
     if !cur.is_empty() || chunks.is_empty() {
         chunks.push(cur);
     }
-    Ok(ShardPlan { chunks })
+    Ok(ShardPlan { chunks, lo_codec })
 }
 
 /// Serialize shard `idx` of `plan`. Returns `(bytes, payload_bytes)`;
@@ -215,7 +234,12 @@ pub fn serialize_shard(
         match *op {
             Op::FileHeader => {
                 out.extend_from_slice(DATA_MAGIC);
-                put_u32(&mut out, FORMAT_VERSION);
+                if plan.lo_codec == LoCodec::F32 {
+                    put_u32(&mut out, FORMAT_VERSION);
+                } else {
+                    put_u32(&mut out, FORMAT_VERSION_TIERED);
+                    out.push(plan.lo_codec.tag());
+                }
                 put_u32(&mut out, vars.len() as u32);
             }
             Op::VarHeader(i) => {
@@ -268,9 +292,10 @@ pub fn serialize_shard(
                         let VarData::F64(vals) = &v.data else {
                             unreachable!("validated: tiered requires f64")
                         };
+                        let width = plan.lo_codec.width();
                         for i in lo.covered_range(k0, k1).indices() {
-                            out.extend_from_slice(&(vals[i as usize] as f32).to_le_bytes());
-                            payload += 4;
+                            plan.lo_codec.encode_into(&mut out, vals[i as usize]);
+                            payload += width;
                         }
                     }
                     _ => unreachable!("planned section matches the plan"),
@@ -402,7 +427,9 @@ pub fn read_sharded_data(
 ) -> Result<Vec<u8>, CkptError> {
     let manifest = ShardManifest::from_bytes(&fetch(&crate::names::manifest(version))?)?;
     let shards: Vec<Vec<u8>> = (0..manifest.shard_count())
-        .map(|i| fetch(&crate::names::shard(version, i)))
+        .map(|i| {
+            fetch(&crate::names::shard(version, i)).and_then(crate::compress::maybe_decompress)
+        })
         .collect::<Result<_, _>>()?;
     manifest.assemble(&shards)
 }
@@ -479,6 +506,31 @@ mod tests {
             let assembled = manifest.assemble(&sealed).unwrap();
             assert_eq!(assembled, mono, "target {target} shards");
             assert_eq!(payload, mono_payload, "target {target} payload bytes");
+        }
+    }
+
+    #[test]
+    fn sharded_v2_tiered_codec_is_bit_identical_to_monolithic() {
+        use crate::writer::serialize_data_with;
+        let (vars, plans) = sample();
+        for keep in [2u8, 5, 7] {
+            let lo_codec = LoCodec::Trunc { keep };
+            let (mono, mono_payload) = serialize_data_with(&vars, &plans, lo_codec).unwrap();
+            for target in [1usize, 3, 8] {
+                let plan = plan_shards_with(&vars, &plans, target, lo_codec).unwrap();
+                let mut payload = 0;
+                let shards: Vec<Vec<u8>> = (0..plan.shard_count())
+                    .map(|i| {
+                        let (bytes, p) = serialize_shard(&vars, &plans, &plan, i);
+                        payload += p;
+                        bytes
+                    })
+                    .collect();
+                let (sealed, manifest) = seal_shards(shards);
+                let assembled = manifest.assemble(&sealed).unwrap();
+                assert_eq!(assembled, mono, "keep={keep} target={target}");
+                assert_eq!(payload, mono_payload, "keep={keep} target={target}");
+            }
         }
     }
 

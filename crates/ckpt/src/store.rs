@@ -8,11 +8,14 @@
 //! under a live chain; old chains fall away wholesale once a newer full
 //! checkpoint ages them out.
 
+use crate::compress::{AtRest, CodecConfig};
 use crate::delta::{self, DeltaPolicy};
 use crate::format::{CkptError, StorageBreakdown, VarPlan, VarRecord};
 use crate::names::{classify, CkptName};
 use crate::reader::Checkpoint;
-use crate::writer::{serialize, write_checkpoint, write_file_atomic};
+use crate::writer::{
+    rebalance_breakdown, serialize_with, write_checkpoint_with, write_file_atomic,
+};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -27,8 +30,11 @@ pub struct CheckpointStore {
     /// plus how many consecutive deltas the chain has grown since its
     /// base. Per-open: the first [`CheckpointStore::save_delta`] after
     /// `open` always writes a full base (chains never span reopens).
+    /// The cached image is always the *raw* (uncompressed) serialized
+    /// bytes — deltas diff canonical images, never stored containers.
     chain: Option<(u64, Vec<u8>)>,
     deltas_since_base: usize,
+    codec: CodecConfig,
 }
 
 impl CheckpointStore {
@@ -58,7 +64,26 @@ impl CheckpointStore {
             next_version,
             chain: None,
             deltas_since_base: 0,
+            codec: CodecConfig::default(),
         })
+    }
+
+    /// Set the storage codec for subsequent saves (builder style). The
+    /// default [`CodecConfig`] is a strict passthrough — every byte
+    /// stream identical to a store without compression. Reads are
+    /// codec-oblivious either way: the loaders sniff the `SCRUTCZB`
+    /// container magic per object, so one store can hold a mix of
+    /// compressed and raw checkpoints (e.g. after changing the codec
+    /// mid-run, or when readers predate the writer's config).
+    pub fn with_codec(mut self, codec: CodecConfig) -> Result<Self, CkptError> {
+        codec.validate()?;
+        self.codec = codec;
+        Ok(self)
+    }
+
+    /// The codec applied to subsequent saves.
+    pub fn codec(&self) -> &CodecConfig {
+        &self.codec
     }
 
     /// Open (or create) `tenant`'s store inside a shared pool directory:
@@ -141,7 +166,7 @@ impl CheckpointStore {
         plans: &[VarPlan],
     ) -> Result<(u64, StorageBreakdown), CkptError> {
         let version = self.next_version;
-        let breakdown = write_checkpoint(&self.dir, version, vars, plans)?;
+        let breakdown = write_checkpoint_with(&self.dir, version, vars, plans, &self.codec)?;
         self.next_version += 1;
         // A full save outside the delta API breaks the in-memory chain
         // state; the next save_delta starts a fresh base.
@@ -166,8 +191,13 @@ impl CheckpointStore {
     ) -> Result<(u64, StorageBreakdown), CkptError> {
         policy.validate()?;
         let version = self.next_version;
-        let ser = serialize(vars, plans)?;
+        let ser = serialize_with(vars, plans, self.codec.lo)?;
         fs::create_dir_all(&self.dir)?;
+        // Diffing happens on raw serialized images inside publish_epoch;
+        // at-rest compression is applied here, per stored object, so the
+        // delta machinery never sees a container. Aux files stay raw.
+        let at_rest = self.codec.at_rest;
+        let saved = std::cell::Cell::new((0usize, 0usize)); // (raw, stored)
         let (breakdown, deltas_since_base) = delta::publish_epoch(
             version,
             policy,
@@ -177,8 +207,22 @@ impl CheckpointStore {
             ser.breakdown.payload_bytes,
             &ser.aux,
             ser.breakdown.aux_bytes,
-            |name, bytes| write_file_atomic(&self.dir.join(name), bytes),
+            |name, bytes| {
+                let stored;
+                let bytes = match (at_rest, classify(name)) {
+                    (AtRest::None, _) | (_, CkptName::Aux(_)) => bytes,
+                    _ => {
+                        stored = crate::compress::compress(bytes, at_rest);
+                        let (r, s) = saved.get();
+                        saved.set((r + bytes.len(), s + stored.len()));
+                        stored.as_slice()
+                    }
+                };
+                write_file_atomic(&self.dir.join(name), bytes)
+            },
         )?;
+        let (raw, stored) = saved.get();
+        let breakdown = rebalance_breakdown(breakdown, raw, stored);
         self.deltas_since_base = deltas_since_base;
         self.chain = Some((version, ser.data));
         self.next_version += 1;
@@ -504,6 +548,63 @@ mod tests {
         assert_eq!(store.versions().unwrap(), vec![0, 1]);
         assert!(store.load(1).is_ok());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_store_roundtrips_and_shrinks_on_disk() {
+        use crate::compress::{AtRest, LoCodec};
+        let dir = tmpdir("codec");
+        let dir_raw = tmpdir("codec_raw");
+        let codec = CodecConfig {
+            at_rest: AtRest::Auto,
+            lo: LoCodec::F32,
+        };
+        let mut store = CheckpointStore::open(&dir, 8)
+            .unwrap()
+            .with_codec(codec)
+            .unwrap();
+        let mut raw_store = CheckpointStore::open(&dir_raw, 8).unwrap();
+        let policy = DeltaPolicy {
+            page_bytes: 64,
+            rebase_every: 3,
+        };
+        // Smooth data compresses well under the bit-plane codec.
+        let mut vals: Vec<f64> = (0..512).map(|i| 1.0 + i as f64 * 1e-6).collect();
+        for i in 0..4u64 {
+            vals[0] = i as f64;
+            let vars = vec![VarRecord::new("x", VarData::F64(vals.clone()))];
+            let (v, bd) = store.save_delta(&vars, &[VarPlan::Full], &policy).unwrap();
+            let (_, raw_bd) = raw_store
+                .save_delta(&vars, &[VarPlan::Full], &policy)
+                .unwrap();
+            // Breakdown totals equal actually-stored bytes, which shrink.
+            assert!(
+                bd.total() < raw_bd.total(),
+                "epoch {i}: {} !< {}",
+                bd.total(),
+                raw_bd.total()
+            );
+            // Every version — compressed base or compressed delta —
+            // restores bit-identically through the ordinary reader.
+            let got = store
+                .load(v)
+                .unwrap()
+                .var("x")
+                .unwrap()
+                .materialize_f64(FillPolicy::Zero)
+                .unwrap();
+            assert_eq!(got, vals, "version {v}");
+        }
+        // The base data file on disk is an SCRUTCZB container.
+        let base = fs::read(dir.join(crate::names::data(0))).unwrap();
+        assert!(crate::compress::is_container(&base));
+        // Aux files are never compressed.
+        let aux = fs::read(dir.join(crate::names::aux(0))).unwrap();
+        assert!(!crate::compress::is_container(&aux));
+        // Chain-aware prune still works across compressed deltas (it
+        // must read parent pointers through the container).
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir_raw).unwrap();
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! Layout (all little-endian, lengths explicit, CRC-32 trailer):
 //!
 //! ```text
-//! data file: "SCRUTCKP" | version u32 | nvars u32
+//! data file: "SCRUTCKP" | version u32 | [v2 only: lo_codec u8] | nvars u32
 //!            per var: name_len u16 | name | dtype u8 | mode u8 | total u64
 //!                     Full/Pruned: count u64 | raw elements
-//!                     Tiered:      hi u64 | f64 elems | lo u64 | f32 elems
+//!                     Tiered:      hi u64 | f64 elems | lo u64 | lo elems
 //!            crc32 u32
 //! aux file:  "SCRUTAUX" | version u32 | nvars u32
 //!            per var: name_len u16 | name | mode u8
@@ -15,10 +15,16 @@
 //!            crc32 u32
 //! ```
 //!
+//! Version 1 stores tiered lo elements as f32; version 2 carries an
+//! explicit [`LoCodec`] tag byte and is emitted **only** when the codec
+//! is not `F32`, so every pre-compression byte stream is still produced
+//! bit-identically and old files parse unchanged.
+//!
 //! The auxiliary file is exactly the paper's §III.B structure: start/end of
 //! every contiguous critical region, so restart can place each stored
 //! element at its original offset.
 
+use crate::compress::{AtRest, CodecConfig, LoCodec};
 use crate::format::{crc32, CkptError, StorageBreakdown, VarData, VarPlan, VarRecord};
 use crate::Regions;
 use std::fs;
@@ -27,6 +33,7 @@ use std::path::{Path, PathBuf};
 pub(crate) const DATA_MAGIC: &[u8; 8] = b"SCRUTCKP";
 const AUX_MAGIC: &[u8; 8] = b"SCRUTAUX";
 pub(crate) const FORMAT_VERSION: u32 = 1;
+pub(crate) const FORMAT_VERSION_TIERED: u32 = 2;
 
 pub(crate) const MODE_FULL: u8 = 0;
 pub(crate) const MODE_PRUNED: u8 = 1;
@@ -126,10 +133,27 @@ pub fn serialize_data(
     vars: &[VarRecord],
     plans: &[VarPlan],
 ) -> Result<(Vec<u8>, usize), CkptError> {
+    serialize_data_with(vars, plans, LoCodec::F32)
+}
+
+/// [`serialize_data`] with an explicit lo-tier codec. `LoCodec::F32`
+/// emits format version 1 bit-identically; any other codec emits
+/// version 2 with its tag byte in the header.
+pub fn serialize_data_with(
+    vars: &[VarRecord],
+    plans: &[VarPlan],
+    lo_codec: LoCodec,
+) -> Result<(Vec<u8>, usize), CkptError> {
     validate(vars, plans)?;
+    lo_codec.validate()?;
     let mut out = Vec::new();
     out.extend_from_slice(DATA_MAGIC);
-    put_u32(&mut out, FORMAT_VERSION);
+    if lo_codec == LoCodec::F32 {
+        put_u32(&mut out, FORMAT_VERSION);
+    } else {
+        put_u32(&mut out, FORMAT_VERSION_TIERED);
+        out.push(lo_codec.tag());
+    }
     put_u32(&mut out, vars.len() as u32);
     let mut payload = 0usize;
     for (v, p) in vars.iter().zip(plans) {
@@ -160,9 +184,10 @@ pub fn serialize_data(
                     payload += 8;
                 }
                 put_u64(&mut out, lo.covered());
+                let width = lo_codec.width();
                 for i in lo.indices() {
-                    out.extend_from_slice(&(vals[i as usize] as f32).to_le_bytes());
-                    payload += 4;
+                    lo_codec.encode_into(&mut out, vals[i as usize]);
+                    payload += width;
                 }
             }
         }
@@ -231,7 +256,17 @@ pub fn serialize_aux(vars: &[VarRecord], plans: &[VarPlan]) -> (Vec<u8>, usize) 
 
 /// Serialize both files with storage accounting.
 pub fn serialize(vars: &[VarRecord], plans: &[VarPlan]) -> Result<SerializedCheckpoint, CkptError> {
-    let (data, payload_bytes) = serialize_data(vars, plans)?;
+    serialize_with(vars, plans, LoCodec::F32)
+}
+
+/// [`serialize`] with an explicit lo-tier codec (see
+/// [`serialize_data_with`]).
+pub fn serialize_with(
+    vars: &[VarRecord],
+    plans: &[VarPlan],
+    lo_codec: LoCodec,
+) -> Result<SerializedCheckpoint, CkptError> {
+    let (data, payload_bytes) = serialize_data_with(vars, plans, lo_codec)?;
     let (aux, pair_bytes) = serialize_aux(vars, plans);
     let header_bytes = data.len() - payload_bytes + (aux.len() - pair_bytes);
     Ok(SerializedCheckpoint {
@@ -243,6 +278,30 @@ pub fn serialize(vars: &[VarRecord], plans: &[VarPlan]) -> Result<SerializedChec
         data,
         aux,
     })
+}
+
+/// Rebalance a [`StorageBreakdown`] after at-rest compression changed a
+/// stored object from `raw_len` to `stored_len` bytes, keeping the
+/// invariant that `total()` equals the bytes actually stored. Savings
+/// come out of the header share first (it is the non-element share of
+/// the object), then out of the payload share; growth (a pathological
+/// codec on incompressible input) lands on the header share.
+pub fn rebalance_breakdown(
+    bd: StorageBreakdown,
+    raw_len: usize,
+    stored_len: usize,
+) -> StorageBreakdown {
+    let mut bd = bd;
+    if stored_len >= raw_len {
+        bd.header_bytes += stored_len - raw_len;
+    } else {
+        let mut saving = raw_len - stored_len;
+        let from_header = saving.min(bd.header_bytes);
+        bd.header_bytes -= from_header;
+        saving -= from_header;
+        bd.payload_bytes = bd.payload_bytes.saturating_sub(saving);
+    }
+    bd
 }
 
 /// File names used for checkpoint `version` inside a store directory.
@@ -293,15 +352,37 @@ pub fn write_checkpoint(
     vars: &[VarRecord],
     plans: &[VarPlan],
 ) -> Result<StorageBreakdown, CkptError> {
-    let ser = serialize(vars, plans)?;
+    write_checkpoint_with(dir, version, vars, plans, &CodecConfig::default())
+}
+
+/// [`write_checkpoint`] with an explicit [`CodecConfig`]: the lo-tier
+/// codec shapes the serialized data file, and an at-rest codec wraps the
+/// data file in a `SCRUTCZB` container on disk (the aux file is never
+/// compressed — it is the tiny region table restart needs first). The
+/// returned breakdown accounts the bytes actually stored.
+pub fn write_checkpoint_with(
+    dir: &Path,
+    version: u64,
+    vars: &[VarRecord],
+    plans: &[VarPlan],
+    codec: &CodecConfig,
+) -> Result<StorageBreakdown, CkptError> {
+    let ser = serialize_with(vars, plans, codec.lo)?;
     fs::create_dir_all(dir)?;
     let (data_path, aux_path) = file_names(dir, version);
     // Write-then-fsync-then-rename so a crash mid-write never leaves a
     // checkpoint that parses: the reader only ever sees complete files,
     // and a renamed file is guaranteed to hold its full contents.
-    write_file_atomic(&data_path, &ser.data)?;
+    let mut breakdown = ser.breakdown;
+    if codec.at_rest == AtRest::None {
+        write_file_atomic(&data_path, &ser.data)?;
+    } else {
+        let stored = crate::compress::compress(&ser.data, codec.at_rest);
+        breakdown = rebalance_breakdown(breakdown, ser.data.len(), stored.len());
+        write_file_atomic(&data_path, &stored)?;
+    }
     write_file_atomic(&aux_path, &ser.aux)?;
-    Ok(ser.breakdown)
+    Ok(breakdown)
 }
 
 #[cfg(test)]
@@ -380,6 +461,53 @@ mod tests {
             bd.total()
         );
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_lo_codec_is_bit_identical_to_v1() {
+        let vars = sample_vars();
+        let crit = Bitmap::from_fn(20, |i| i % 2 == 0);
+        let hi = Regions::from_bitmap(&crit);
+        let plans = vec![
+            VarPlan::Tiered {
+                lo: hi.complement(20),
+                hi,
+            },
+            VarPlan::Full,
+            VarPlan::Full,
+        ];
+        let v1 = serialize(&vars, &plans).unwrap();
+        let with = serialize_with(&vars, &plans, LoCodec::F32).unwrap();
+        assert_eq!(v1.data, with.data);
+        assert_eq!(v1.aux, with.aux);
+        assert_eq!(u32::from_le_bytes(v1.data[8..12].try_into().unwrap()), 1);
+
+        // A truncating codec emits version 2 and a smaller lo payload.
+        let t3 = serialize_with(&vars, &plans, LoCodec::Trunc { keep: 3 }).unwrap();
+        assert_eq!(u32::from_le_bytes(t3.data[8..12].try_into().unwrap()), 2);
+        assert_eq!(t3.data[12], 3);
+        assert!(t3.data.len() < v1.data.len());
+        assert!(t3.breakdown.payload_bytes < v1.breakdown.payload_bytes);
+        assert_eq!(t3.aux, v1.aux, "aux is codec-independent");
+    }
+
+    #[test]
+    fn rebalance_keeps_total_equal_to_stored_bytes() {
+        let bd = StorageBreakdown {
+            payload_bytes: 1000,
+            aux_bytes: 50,
+            header_bytes: 30,
+        };
+        // Saving smaller than the header share.
+        let r = rebalance_breakdown(bd, 1030, 1010);
+        assert_eq!((r.payload_bytes, r.header_bytes), (1000, 10));
+        // Saving spilling into the payload share.
+        let r = rebalance_breakdown(bd, 1030, 400);
+        assert_eq!((r.payload_bytes, r.header_bytes), (400, 0));
+        assert_eq!(r.total(), 400 + 50);
+        // Growth lands on the header share.
+        let r = rebalance_breakdown(bd, 1030, 1060);
+        assert_eq!((r.payload_bytes, r.header_bytes), (1000, 60));
     }
 
     #[test]

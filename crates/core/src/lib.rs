@@ -75,7 +75,7 @@ pub use analysis::{
     Analyzer, DifferentialReport, Disagreement, DisagreementKind, ScrutinyOptions, VarCriticality,
 };
 pub use app::{RunOutcome, ScrutinyApp};
-pub use plan::Policy;
+pub use plan::{codec_for, Policy};
 pub use report::{
     format_table1, format_table2, format_table3, table2_rows, table3_row, Table2Row, Table3Row,
 };

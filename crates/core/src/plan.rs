@@ -1,7 +1,7 @@
 //! Storage planning: criticality maps → per-variable checkpoint plans.
 
 use crate::analysis::AnalysisReport;
-use scrutiny_ckpt::{Bitmap, DType, Regions, VarPlan};
+use scrutiny_ckpt::{AtRest, Bitmap, CodecConfig, DType, LoCodec, Regions, VarPlan};
 
 /// How to turn criticality into storage decisions.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,6 +20,34 @@ pub enum Policy {
         /// Gradient-magnitude threshold separating f64 from f32 storage.
         hi_threshold: f64,
     },
+    /// [`Policy::Tiered`] plus the storage codec: the lo tier stores
+    /// truncated-mantissa f64 (`keep` most-significant bytes of the 8,
+    /// see [`LoCodec::Trunc`]) instead of f32, and published objects are
+    /// wrapped in the self-written `SCRUTCZB` at-rest container
+    /// ([`AtRest::Auto`] picks the smaller of bit-plane and RLE per
+    /// object, falling back to stored). Lossy only in the AD-proven lo
+    /// tier — restart verification (§IV.C) is the acceptance gate.
+    TieredCompressed {
+        /// Gradient-magnitude threshold separating the exact hi tier
+        /// from the truncated lo tier.
+        hi_threshold: f64,
+        /// Most-significant bytes kept per lo-tier f64 (2..=7).
+        keep: u8,
+    },
+}
+
+/// The storage codec `policy` implies: [`Policy::TieredCompressed`]
+/// enables truncated-mantissa lo storage plus at-rest compression; every
+/// other policy is the strict passthrough (byte streams identical to a
+/// build without compression).
+pub fn codec_for(policy: Policy) -> CodecConfig {
+    match policy {
+        Policy::TieredCompressed { keep, .. } => CodecConfig {
+            at_rest: AtRest::Auto,
+            lo: LoCodec::Trunc { keep },
+        },
+        _ => CodecConfig::default(),
+    }
 }
 
 /// Produce one [`VarPlan`] per checkpoint variable under `policy`.
@@ -41,7 +69,7 @@ pub fn plans_for(report: &AnalysisReport, policy: Policy) -> Vec<VarPlan> {
                 Policy::PrunedStructural => {
                     VarPlan::Pruned(Regions::from_bitmap(&v.structural_map))
                 }
-                Policy::Tiered { hi_threshold } => {
+                Policy::Tiered { hi_threshold } | Policy::TieredCompressed { hi_threshold, .. } => {
                     if v.spec.dtype == DType::C128 {
                         // Mixed-precision complex storage is not supported;
                         // fall back to the paper's pruning.
@@ -121,6 +149,31 @@ mod tests {
         };
         assert_eq!(hi.covered() + lo.covered(), crit);
         assert!(hi.intersect(lo).is_empty());
+    }
+
+    #[test]
+    fn tiered_compressed_plans_match_tiered_and_carry_a_codec() {
+        let r = report();
+        let lossless = plans_for(&r, Policy::Tiered { hi_threshold: 0.5 });
+        let lossy = plans_for(
+            &r,
+            Policy::TieredCompressed {
+                hi_threshold: 0.5,
+                keep: 4,
+            },
+        );
+        // Same region partition — only the storage codec differs.
+        assert_eq!(lossless, lossy);
+        let codec = codec_for(Policy::TieredCompressed {
+            hi_threshold: 0.5,
+            keep: 4,
+        });
+        assert_eq!(codec.at_rest, AtRest::Auto);
+        assert_eq!(codec.lo, LoCodec::Trunc { keep: 4 });
+        assert!(codec.validate().is_ok());
+        // Lossless policies imply the strict passthrough.
+        assert!(codec_for(Policy::PrunedValue).is_passthrough());
+        assert!(codec_for(Policy::Tiered { hi_threshold: 0.5 }).is_passthrough());
     }
 
     #[test]

@@ -9,9 +9,9 @@
 
 use crate::analysis::AnalysisReport;
 use crate::app::ScrutinyApp;
-use crate::plan::{plans_for, Policy};
+use crate::plan::{codec_for, plans_for, Policy};
 use crate::site::{CaptureSite, NoopSite, RestoreSite};
-use scrutiny_ckpt::writer::serialize;
+use scrutiny_ckpt::writer::{serialize, serialize_with};
 use scrutiny_ckpt::{
     Checkpoint, CheckpointStore, CkptError, DType, FillPolicy, StorageBreakdown, VarData, VarPlan,
     VarRecord,
@@ -157,14 +157,19 @@ pub fn restart_with_mutation(
     mutate: impl FnOnce(&mut [VarData], &AnalysisReport),
 ) -> Result<RestartReport, CkptError> {
     let prefix = cycle_prefix(app, analysis, cfg)?;
+    // The policy decides the storage codec: `TieredCompressed` stores
+    // the lo tier as truncated-mantissa f64 (and, through a store, the
+    // data objects in the `SCRUTCZB` at-rest container); every other
+    // policy is the strict passthrough.
+    let codec = codec_for(cfg.policy);
     let (checkpoint, storage) = match &cfg.store_dir {
         Some(dir) => {
-            let mut store = CheckpointStore::open(dir, 2)?;
+            let mut store = CheckpointStore::open(dir, 2)?.with_codec(codec)?;
             let (version, storage) = store.save(&prefix.vars, &prefix.plans)?;
             (store.load(version)?, storage)
         }
         None => {
-            let ser = serialize(&prefix.vars, &prefix.plans)?;
+            let ser = serialize_with(&prefix.vars, &prefix.plans, codec.lo)?;
             (Checkpoint::from_bytes(&ser.data, &ser.aux)?, ser.breakdown)
         }
     };
@@ -546,6 +551,46 @@ mod tests {
         };
         let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
         assert_eq!(report.abs_err, 0.0, "full restore must be bit-exact");
+    }
+
+    #[test]
+    fn tiered_compressed_policy_verifies_and_shrinks_storage() {
+        let app = Heat1d::new(16, 10, 5);
+        let analysis = scrutinize(&app).unwrap();
+        let pruned = checkpoint_restart_cycle(&app, &analysis, &RestartConfig::default()).unwrap();
+        // keep=5 drops 24 mantissa bits (per-element error < 2^-28),
+        // keep=6 drops 16 (< 2^-36): both inside the 1e-9 verification
+        // tolerance, both strictly smaller than f64 critical storage.
+        for keep in [5u8, 6] {
+            let cfg = RestartConfig {
+                policy: Policy::TieredCompressed {
+                    hi_threshold: 0.9,
+                    keep,
+                },
+                ..Default::default()
+            };
+            // In-memory path: truncated lo tier, no at-rest container.
+            let report = checkpoint_restart_cycle(&app, &analysis, &cfg).unwrap();
+            assert!(report.verified, "keep={keep}: rel err {}", report.rel_err);
+            assert!(
+                report.storage.payload_bytes < pruned.storage.payload_bytes,
+                "keep={keep}: lossy tier {} !< prune-only {}",
+                report.storage.payload_bytes,
+                pruned.storage.payload_bytes
+            );
+            // Store path: same policy through files, with the at-rest
+            // container applied on disk.
+            let dir = std::env::temp_dir()
+                .join(format!("scrutiny_restart_tc_{keep}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg_disk = RestartConfig {
+                store_dir: Some(dir.clone()),
+                ..cfg
+            };
+            let on_disk = checkpoint_restart_cycle(&app, &analysis, &cfg_disk).unwrap();
+            assert!(on_disk.verified, "keep={keep} through files");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

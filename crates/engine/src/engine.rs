@@ -23,8 +23,10 @@ use crate::error::EngineError;
 use crate::snapshot::{Snapshot, StagingGate};
 use scrutiny_ckpt::delta::{publish_epoch, DeltaPolicy};
 use scrutiny_ckpt::names;
-use scrutiny_ckpt::shard::{plan_shards, seal_shards, serialize_shard, ShardPlan};
-use scrutiny_ckpt::{serialize_aux, StorageBreakdown, VarPlan, VarRecord};
+use scrutiny_ckpt::shard::{plan_shards_with, seal_shards, serialize_shard, ShardPlan};
+use scrutiny_ckpt::{
+    rebalance_breakdown, serialize_aux, AtRest, CodecConfig, StorageBreakdown, VarPlan, VarRecord,
+};
 use scrutiny_obs::{point, span, Counter, Gauge, HistHandle, Recorder};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,6 +71,15 @@ pub struct EngineConfig {
     /// compute thread still pays only the staging memcpy. Bases are
     /// published monolithically; `layout` is ignored in delta mode.
     pub delta: Option<DeltaPolicy>,
+    /// Storage codec (see [`scrutiny_ckpt::compress`]): the lo-tier
+    /// element codec applied during shard serialization, and the
+    /// optional `SCRUTCZB` at-rest compression applied to published
+    /// data/shard/delta objects (never aux or manifest — the small
+    /// control files stay directly inspectable). The default is a
+    /// strict passthrough: byte streams identical to an engine without
+    /// compression. Readers sniff the container magic per object, so a
+    /// backend can mix compressed and raw checkpoints freely.
+    pub codec: CodecConfig,
     /// Observability sink. The engine emits per-version spans
     /// (`engine.submit` → `engine.shard_serialize` → `engine.publish` →
     /// `engine.commit`), queue-depth/inflight gauges, and
@@ -90,6 +101,7 @@ impl Default for EngineConfig {
             layout: Layout::Monolithic,
             keep: None,
             delta: None,
+            codec: CodecConfig::default(),
             recorder: Recorder::disabled(),
         }
     }
@@ -216,6 +228,13 @@ struct EngineObs {
     submissions: Counter,
     commits: Counter,
     publish_failures: Counter,
+    /// Pre-compression bytes fed to the at-rest codec (delta-mode and
+    /// monolithic/sharded data objects alike); 0 with `AtRest::None`.
+    raw_bytes: Counter,
+    /// Post-compression bytes actually written for those objects. The
+    /// ratio `compressed_bytes / raw_bytes` is the fleet-level at-rest
+    /// compression factor.
+    compressed_bytes: Counter,
 }
 
 impl EngineObs {
@@ -228,9 +247,25 @@ impl EngineObs {
             submissions: rec.counter("engine.submissions"),
             commits: rec.counter("engine.commits"),
             publish_failures: rec.counter("engine.publish_failures"),
+            raw_bytes: rec.counter("engine.raw_bytes"),
+            compressed_bytes: rec.counter("engine.compressed_bytes"),
             rec,
         }
     }
+}
+
+/// Compress one storage object under a `ckpt.compress` span, feeding the
+/// `engine.raw_bytes` / `engine.compressed_bytes` counters. Passthrough
+/// (no span, no counters) when the codec's at-rest method is `None`.
+fn compress_object(obs: &EngineObs, at_rest: AtRest, raw: Vec<u8>) -> Vec<u8> {
+    if at_rest == AtRest::None {
+        return raw;
+    }
+    let _span = span!(obs.rec, "ckpt.compress", raw_bytes = raw.len());
+    let stored = scrutiny_ckpt::compress::compress(&raw, at_rest);
+    obs.raw_bytes.add(raw.len() as u64);
+    obs.compressed_bytes.add(stored.len() as u64);
+    stored
 }
 
 struct Shared {
@@ -337,6 +372,7 @@ impl EngineHandle {
         if let Some(delta) = &cfg.delta {
             delta.validate()?;
         }
+        cfg.codec.validate()?;
         let next_version = list_versions(backend.as_ref())?.last().map_or(0, |v| v + 1);
         let shared = Arc::new(Shared {
             chain: cfg.delta.as_ref().map(|_| Chain::new(next_version)),
@@ -402,10 +438,11 @@ impl EngineHandle {
     fn enqueue(&self, snapshot: Snapshot) -> Result<Ticket, EngineError> {
         let obs = &self.shared.obs;
         let t0 = obs.rec.is_enabled().then(std::time::Instant::now);
-        let plan = match plan_shards(
+        let plan = match plan_shards_with(
             &snapshot.vars,
             &snapshot.plans,
             self.shared.cfg.target_shards,
+            self.shared.cfg.codec.lo,
         ) {
             Ok(p) => p,
             Err(e) => {
@@ -607,7 +644,7 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
     }
 
     let data_len: usize = sealed.iter().map(Vec::len).sum();
-    let breakdown = StorageBreakdown {
+    let mut breakdown = StorageBreakdown {
         payload_bytes,
         aux_bytes: pair_bytes,
         header_bytes: data_len - payload_bytes + (aux.len() - pair_bytes),
@@ -616,6 +653,7 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
     let v = sub.version;
     let backend = shared.backend.as_ref();
     let obs = &shared.obs;
+    let at_rest = shared.cfg.codec.at_rest;
     let publish = span!(obs.rec, "engine.publish", version = v);
     match shared.cfg.layout {
         Layout::Monolithic => {
@@ -623,6 +661,8 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
             for s in &sealed {
                 data.extend_from_slice(s);
             }
+            let data = compress_object(obs, at_rest, data);
+            breakdown = rebalance_breakdown(breakdown, data_len, data.len());
             // Aux first: once the data object (the commit marker the
             // store scans for) exists, the checkpoint is complete.
             backend.put(&names::aux(v), &aux)?;
@@ -634,9 +674,17 @@ fn finish_submission(shared: &Shared, sub: &Submission) -> Result<(), EngineErro
             commit_span(obs, t_commit, v, &names::data(v), data.len());
         }
         Layout::Sharded => {
-            for (i, s) in sealed.iter().enumerate() {
-                backend.put(&names::shard(v, i), s)?;
+            // The manifest (sealed above) carries the *raw* shard
+            // lengths and CRCs; readers decode each container before
+            // checking it. The manifest itself is never compressed —
+            // it is the commit marker and stays directly inspectable.
+            let mut stored_len = 0usize;
+            for (i, s) in sealed.into_iter().enumerate() {
+                let s = compress_object(obs, at_rest, s);
+                stored_len += s.len();
+                backend.put(&names::shard(v, i), &s)?;
             }
+            breakdown = rebalance_breakdown(breakdown, data_len, stored_len);
             backend.put(&names::aux(v), &aux)?;
             // Manifest last: it is the sharded layout's commit marker.
             let t_commit = obs.rec.now_us();
@@ -724,11 +772,16 @@ fn finish_delta(
 
     let backend = shared.backend.as_ref();
     let obs = &shared.obs;
+    let at_rest = shared.cfg.codec.at_rest;
     let publish = span!(obs.rec, "engine.publish", version = v);
     // The base-vs-delta decision, write order, and accounting are the
-    // store's exact `publish_epoch` — the two writers cannot drift. The
+    // store's exact `publish_epoch` — the two writers cannot drift.
+    // Diffing inside `publish_epoch` sees only raw images (the chain's
+    // cached parent stays uncompressed); at-rest compression happens
+    // here, per stored data/delta object, never for the aux file. The
     // put closure spots the commit marker (the object whose name carries
     // a committed version) and wraps that one write in the commit span.
+    let saved = std::cell::Cell::new((0usize, 0usize)); // (raw, stored)
     let result = publish_epoch(
         v,
         policy,
@@ -739,6 +792,16 @@ fn finish_delta(
         &aux,
         pair_bytes,
         |name, bytes| {
+            let stored_vec;
+            let bytes = match (at_rest, names::classify(name)) {
+                (AtRest::None, _) | (_, names::CkptName::Aux(_)) => bytes,
+                _ => {
+                    stored_vec = compress_object(obs, at_rest, bytes.to_vec());
+                    let (r, s) = saved.get();
+                    saved.set((r + bytes.len(), s + stored_vec.len()));
+                    stored_vec.as_slice()
+                }
+            };
             if names::committed_version(name) == Some(v) {
                 let t_commit = obs.rec.now_us();
                 backend.put(name, bytes)?;
@@ -749,6 +812,10 @@ fn finish_delta(
             }
         },
     );
+    let result = result.map(|(bd, n)| {
+        let (raw, stored) = saved.get();
+        (rebalance_breakdown(bd, raw, stored), n)
+    });
 
     let mut s = chain.state.lock().unwrap();
     match result {
@@ -1126,6 +1193,71 @@ mod tests {
                     _
                 )))
             ));
+        }
+    }
+
+    #[test]
+    fn compressed_publishes_restore_bit_identically_in_every_layout() {
+        use scrutiny_ckpt::compress::is_container;
+        // Smooth values compress well under the bit-plane codec.
+        let vars = vec![VarRecord::new(
+            "u",
+            VarData::F64((0..2048).map(|i| 1.0 + i as f64 * 1e-7).collect()),
+        )];
+        let plans = vec![VarPlan::Full];
+        let blocking = serialize(&vars, &plans).unwrap();
+        let codec = CodecConfig {
+            at_rest: AtRest::Auto,
+            ..Default::default()
+        };
+        for (layout, delta) in [
+            (Layout::Monolithic, None),
+            (Layout::Sharded, None),
+            (
+                Layout::Monolithic,
+                Some(DeltaPolicy {
+                    page_bytes: 256,
+                    rebase_every: 4,
+                }),
+            ),
+        ] {
+            let mem = Arc::new(MemBackend::new());
+            let cfg = EngineConfig {
+                workers: 3,
+                target_shards: 3,
+                layout,
+                delta,
+                codec,
+                recorder: Recorder::new(),
+                ..Default::default()
+            };
+            let eng = EngineHandle::open(mem.clone(), cfg).unwrap();
+            let t = eng.submit(&vars, &plans).unwrap();
+            let v = t.version();
+            let bd = eng.wait(t).unwrap();
+            // Reconstructed image is bit-identical to the raw writer's.
+            let (data, aux) = read_version(mem.as_ref(), v).unwrap();
+            assert_eq!(data, blocking.data, "{layout:?} delta={}", delta.is_some());
+            assert_eq!(aux, blocking.aux);
+            // The stored payload object really is a container, the
+            // breakdown tracks the stored (smaller) bytes, and the
+            // compression counters observed the shrink.
+            let first_obj = if layout == Layout::Sharded && delta.is_none() {
+                mem.get(&names::shard(v, 0)).unwrap()
+            } else {
+                mem.get(&names::data(v)).unwrap()
+            };
+            assert!(is_container(&first_obj), "{layout:?}");
+            assert!(
+                bd.total() < blocking.breakdown.total(),
+                "{layout:?}: {} !< {}",
+                bd.total(),
+                blocking.breakdown.total()
+            );
+            let snap = eng.recorder().snapshot();
+            let raw = snap.counter("engine.raw_bytes").unwrap_or(0);
+            let stored = snap.counter("engine.compressed_bytes").unwrap_or(0);
+            assert!(stored > 0 && stored < raw, "{layout:?}: {stored} vs {raw}");
         }
     }
 

@@ -90,6 +90,14 @@ pub enum StorageScenario {
     /// artifacts: the version must read as uncommitted, named in the
     /// recovery report, never as a half-alive checkpoint.
     MissingCommitMarker,
+    /// Flip a byte inside the *compressed payload* of a version's
+    /// `SCRUTCZB` container object (data, delta, or first shard): the
+    /// container's trailer CRC — computed over the **stored** bytes —
+    /// must reject it with a typed checksum error before the codec ever
+    /// runs, and recovery must fall back. Requires a version written
+    /// with at-rest compression enabled; a version with no compressed
+    /// object is [`CkptError::InvalidConfig`].
+    FlippedCompressedByte,
 }
 
 /// The objects of `version` present in `listing`, as
@@ -131,6 +139,7 @@ impl StorageScenario {
             StorageScenario::FlippedPayloadByte => "flipped_payload_byte",
             StorageScenario::DeletedDeltaBase => "deleted_delta_base",
             StorageScenario::MissingCommitMarker => "missing_commit_marker",
+            StorageScenario::FlippedCompressedByte => "flipped_compressed_byte",
         }
     }
 
@@ -228,6 +237,32 @@ impl StorageScenario {
                     v = parent;
                 }
             }
+            StorageScenario::FlippedCompressedByte => {
+                // Among the version's payload objects, find one stored as
+                // an SCRUTCZB container and damage its compressed payload
+                // (past the container header, before the CRC trailer).
+                for name in [objects.data, objects.delta, objects.shard0]
+                    .into_iter()
+                    .flatten()
+                {
+                    let obj = backend.get(&name)?;
+                    if !scrutiny_ckpt::compress::is_container(&obj) {
+                        continue;
+                    }
+                    // Header is 25 bytes, trailer CRC 4; flip in between.
+                    let lo = 25.min(obj.len() - 1);
+                    let hi = obj.len().saturating_sub(4).max(lo + 1);
+                    StorageFault::FlipByte {
+                        offset: lo + (hi - lo) / 2,
+                    }
+                    .apply(backend, &name)?;
+                    return Ok(name);
+                }
+                Err(CkptError::InvalidConfig(format!(
+                    "version {version} has no compressed (SCRUTCZB) object \
+                     to damage — was it written with at-rest compression?"
+                )))
+            }
             StorageScenario::MissingCommitMarker => {
                 let markers: Vec<String> = [objects.data, objects.manifest, objects.delta]
                     .into_iter()
@@ -286,6 +321,32 @@ mod tests {
         // And a version with no artifacts at all.
         assert!(StorageScenario::FlippedPayloadByte.inject(&b, 9).is_err());
         assert!(StorageScenario::MissingCommitMarker.inject(&b, 9).is_err());
+    }
+
+    #[test]
+    fn flipped_compressed_byte_damages_the_container_payload() {
+        use scrutiny_ckpt::compress::{compress, decompress, AtRest};
+        let b = MemBackend::new();
+        // A raw-only version cannot express the scenario.
+        b.put(&names::data(1), &[7u8; 128]).unwrap();
+        assert!(matches!(
+            StorageScenario::FlippedCompressedByte.inject(&b, 1),
+            Err(CkptError::InvalidConfig(_))
+        ));
+        // A compressed version can — and the damage is a typed checksum
+        // rejection, not garbage decode output.
+        let stored = compress(&[42u8; 4096], AtRest::Rle);
+        b.put(&names::data(2), &stored).unwrap();
+        let damaged = StorageScenario::FlippedCompressedByte
+            .inject(&b, 2)
+            .unwrap();
+        assert_eq!(damaged, names::data(2));
+        let obj = b.get(&names::data(2)).unwrap();
+        assert_ne!(obj, stored, "the object must actually change");
+        assert!(matches!(
+            decompress(&obj),
+            Err(CkptError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

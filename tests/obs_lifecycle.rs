@@ -293,3 +293,82 @@ fn exactly_one_commit_span_per_published_version_including_failed_delta_epochs()
     quiet.wait(t).unwrap();
     assert_eq!(quiet.recorder().snapshot(), Snapshot::empty());
 }
+
+/// The compression block's observability contract: an engine publishing
+/// with the at-rest codec emits one `ckpt.compress` span per compressed
+/// object and advances the `engine.raw_bytes` / `engine.compressed_bytes`
+/// counters; restoring those objects through the observed parallel
+/// pipeline emits `ckpt.decompress` spans. All of it survives the JSONL
+/// round trip.
+#[test]
+fn compression_spans_and_byte_counters_cover_publish_and_restore() {
+    let rec = Recorder::with_capacity(1 << 14);
+    let mem = Arc::new(MemBackend::new());
+    let engine = EngineHandle::open(
+        mem.clone(),
+        EngineConfig {
+            recorder: rec.clone(),
+            codec: scrutiny_ckpt::CodecConfig {
+                at_rest: scrutiny_ckpt::AtRest::Auto,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let app = Cg::mini();
+    let analysis = scrutinize(&app).unwrap();
+    let vars = scrutiny_core::restart::capture_state(&app);
+    let plans = scrutiny_core::plan::plans_for(&analysis, Policy::PrunedValue);
+    for _ in 0..2 {
+        let t = engine.submit(&vars, &plans).unwrap();
+        engine.wait(t).unwrap();
+    }
+
+    // Restore version 0 through the observed pipeline so the decode side
+    // lands in the same log.
+    let fetch = |name: &str| mem.get(name);
+    let (image, _) = scrutiny_ckpt::read_data_image_parallel_obs(
+        0,
+        &fetch,
+        &scrutiny_engine::RestoreOptions { threads: 2 },
+        &rec,
+    )
+    .unwrap();
+    assert!(!image.is_empty());
+
+    let jsonl = rec.snapshot().to_jsonl();
+    validate_jsonl(&jsonl).expect("emitted JSONL violates its own schema");
+    let snap = Snapshot::from_jsonl(&jsonl).unwrap();
+    let spans = snap.spans();
+
+    let compresses: Vec<_> = spans.iter().filter(|s| s.name == "ckpt.compress").collect();
+    assert!(
+        !compresses.is_empty(),
+        "each compressed publish runs under a ckpt.compress span"
+    );
+    for s in &compresses {
+        assert!(s.field_u64("raw_bytes").unwrap() > 0);
+        assert!(s.end_us.is_some(), "compress span closed");
+    }
+
+    let decompresses: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "ckpt.decompress")
+        .collect();
+    assert!(
+        !decompresses.is_empty(),
+        "the observed restore decodes under ckpt.decompress spans"
+    );
+    for s in &decompresses {
+        assert!(s.field_u64("stored_bytes").unwrap() > 0);
+    }
+
+    let raw = snap.counter("engine.raw_bytes").unwrap();
+    let stored = snap.counter("engine.compressed_bytes").unwrap();
+    assert!(
+        0 < stored && stored <= raw,
+        "byte counters: stored {stored} vs raw {raw}"
+    );
+}

@@ -136,6 +136,47 @@ fn flipped_payload_byte_in_monolithic_recovers_prior_version() {
     assert_eq!(r.aux, expected[1].1);
 }
 
+/// The compression tentpole's fault-injection guard: damage inside a
+/// `SCRUTCZB` container payload must surface as the container's own
+/// typed `ChecksumMismatch` (the stored-byte CRC — detected *before*
+/// decode output reaches the format layer), the recovery scan must fall
+/// back past it, and the recovered image must be bit-identical to the
+/// prior version's uncompressed blocking save.
+#[test]
+fn flipped_compressed_byte_recovers_prior_version_with_typed_rejection() {
+    let (mem, expected) = filled(
+        EngineConfig {
+            codec: scrutiny_ckpt::CodecConfig {
+                at_rest: scrutiny_ckpt::AtRest::Auto,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        3,
+    );
+    let damaged = StorageScenario::FlippedCompressedByte
+        .inject(mem.as_ref(), 2)
+        .unwrap();
+    assert_eq!(damaged, names::data(2));
+
+    let r = recover(mem);
+    assert_eq!(r.version, 1);
+    assert_eq!(r.report.rejected_versions(), vec![2]);
+    assert!(
+        matches!(
+            r.report.rejected[0].error,
+            CkptError::ChecksumMismatch { .. }
+        ),
+        "container damage must reject as a checksum mismatch, got: {}",
+        r.report.rejected[0].error
+    );
+    assert_eq!(
+        r.data, expected[1].0,
+        "recovered image must decode bit-identically to the raw save"
+    );
+    assert_eq!(r.aux, expected[1].1);
+}
+
 #[test]
 fn flipped_payload_byte_in_a_delta_link_recovers_prior_version() {
     // rebase_every=8 → version 0 is the base, 1..=3 are deltas.
