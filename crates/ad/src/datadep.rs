@@ -31,7 +31,8 @@
 //! classifies those as typed disagreements.
 
 use crate::error::AdError;
-use crate::segment::NONE;
+use crate::replay::ReplayCtx;
+use crate::segment::{Dir, NONE};
 use crate::sweep::{self, SweepConfig, SweepStats};
 use crate::tape::Tape;
 
@@ -125,6 +126,10 @@ impl DataDep {
     /// pass over the tape — O(nodes) total, no backtracking. `nodes` is
     /// truncated to `max_nodes` entries; `hops` always counts the full
     /// path.
+    ///
+    /// On a checkpointed tape the scan only walks *resident* segments:
+    /// hitting an evicted one returns `None` (the liveness verdict stands;
+    /// only the explicit path is unavailable without a replay).
     pub fn witness_path(&self, tape: &Tape, from: u64, max_nodes: usize) -> Option<Witness> {
         let seed = self.seed?;
         if !self.live(from) {
@@ -133,7 +138,9 @@ impl DataDep {
         let store = tape.store();
         let shift = store.shift();
         let mask = store.mask();
-        let segments = store.segments();
+        let ctx = ReplayCtx::none();
+        let mut cur_s = usize::MAX;
+        let mut seg_view = None;
         let mut nodes = vec![from];
         let mut hops = 0usize;
         let mut current = from;
@@ -144,7 +151,12 @@ impl DataDep {
             // and its own consumers are later still.
             loop {
                 debug_assert!(j <= seed, "live non-output node with no live consumer");
-                let seg = &segments[(j >> shift) as usize];
+                let s = (j >> shift) as usize;
+                if s != cur_s {
+                    seg_view = Some(store.view(s, Dir::Fwd, &ctx).ok()?);
+                    cur_s = s;
+                }
+                let seg = seg_view.as_ref().expect("view cached for this segment");
                 let off = (j & mask) as usize;
                 if self.live[j as usize] && (seg.p1[off] == current || seg.p2[off] == current) {
                     break;
@@ -163,14 +175,17 @@ impl DataDep {
 }
 
 /// Run the analysis: structural liveness from `seed` (via the shared
-/// serial/parallel bitset sweep) plus the forward def-use pass.
+/// serial/parallel bitset sweep) plus the forward def-use pass. Both
+/// passes fetch segments through the replay context, so on a checkpointed
+/// tape the whole analysis stays within the residency budget.
 pub(crate) fn analyze(
     tape: &Tape,
     seed: Option<u64>,
     cfg: SweepConfig,
+    ctx: &ReplayCtx<'_>,
 ) -> Result<DataDep, AdError> {
     let (live, stats) = match seed {
-        Some(out) => sweep::reachable_auto(tape, out, cfg)?,
+        Some(out) => sweep::reachable_auto(tape, out, cfg, ctx)?,
         None => {
             // Same contract as the value sweep: a poisoned tape is an
             // error even when the output folded to a constant.
@@ -182,19 +197,28 @@ pub(crate) fn analyze(
             (vec![false; tape.len()], sweep::constant_stats())
         }
     };
+    let used = used_bits(tape, ctx)?;
+    // The def-use pass may have replayed more segments after the sweep's
+    // stats were finalized; re-read the totals so the report sees both.
+    let mut stats = stats;
+    stats.replayed_segments = ctx.replayed_count();
+    stats.peak_resident_bytes = tape.store().peak_resident_bytes();
     Ok(DataDep {
         live,
-        used: used_bits(tape),
+        used,
         seed,
         stats,
     })
 }
 
 /// One forward pass over the segments: mark every node that appears as a
-/// parent of a later node.
-fn used_bits(tape: &Tape) -> Vec<bool> {
+/// parent of a later node. Walks forward-oriented replay windows on a
+/// checkpointed tape.
+fn used_bits(tape: &Tape, ctx: &ReplayCtx<'_>) -> Result<Vec<bool>, AdError> {
+    let store = tape.store();
     let mut used = vec![false; tape.len()];
-    for seg in tape.store().segments() {
+    for s in 0..store.seg_count() {
+        let seg = store.view(s, Dir::Fwd, ctx)?;
         for off in 0..seg.len() {
             for p in [seg.p1[off], seg.p2[off]] {
                 if p != NONE {
@@ -203,7 +227,7 @@ fn used_bits(tape: &Tape) -> Vec<bool> {
             }
         }
     }
-    used
+    Ok(used)
 }
 
 #[cfg(test)]

@@ -28,6 +28,36 @@ pub enum AdError {
         /// Nodes actually recorded.
         len: u64,
     },
+    /// A configuration knob was self-contradictory — e.g. a tape
+    /// checkpoint byte budget smaller than a single segment, which could
+    /// not hold even the open recording segment.
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        reason: &'static str,
+    },
+    /// A sweep reached a segment that was evicted under a
+    /// [`crate::TapeCheckpointConfig`] but no replay closure was
+    /// registered to re-record it (use the `*_replay` sweep entry
+    /// points on a checkpointed tape).
+    SegmentEvicted {
+        /// The evicted segment the sweep needed.
+        segment: u64,
+    },
+    /// Re-recording an evicted segment produced different bytes than the
+    /// original recording: the replay closure is not deterministic (or
+    /// not the closure that produced the tape). `segment == u64::MAX`
+    /// means the *total* replayed node count diverged; otherwise
+    /// `expected`/`actual` are the recorded and re-recorded segment
+    /// digests (or lengths) for `segment`.
+    ReplayDivergence {
+        /// Segment whose re-recording diverged (`u64::MAX`: whole-tape
+        /// node count mismatch).
+        segment: u64,
+        /// Recorded digest / length / node count.
+        expected: u64,
+        /// Re-recorded digest / length / node count.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for AdError {
@@ -41,6 +71,35 @@ impl fmt::Display for AdError {
             }
             AdError::NodeOutOfRange { node, len } => {
                 write!(f, "sweep seed node {node} is not on the tape (len {len})")
+            }
+            AdError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            AdError::SegmentEvicted { segment } => {
+                write!(
+                    f,
+                    "segment {segment} was evicted under the tape checkpoint \
+                     policy and no replay closure is registered"
+                )
+            }
+            AdError::ReplayDivergence {
+                segment,
+                expected,
+                actual,
+            } => {
+                if *segment == u64::MAX {
+                    write!(
+                        f,
+                        "replay divergence: re-recording produced {actual} nodes \
+                         where the original recording produced {expected}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "replay divergence in segment {segment}: re-recorded \
+                         content {actual:#018x} != recorded {expected:#018x}"
+                    )
+                }
             }
         }
     }

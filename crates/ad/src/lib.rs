@@ -43,6 +43,14 @@
 //!   ([`Tape::datadep`]): liveness plus def-use bits and explicit witness
 //!   paths, the AutoCheck-style second opinion that the differential
 //!   harness in `core::analysis` cross-checks the value sweep against.
+//! * [`TapeCheckpointConfig`] — **bounded-memory scrutiny** via
+//!   divide-and-conquer checkpointing of the tape itself ([`replay`]):
+//!   keep at most `ncheckpoints` segments resident (0 = auto ≈
+//!   log2(segments)), evict the rest to digests during recording, and
+//!   re-record them on demand through a deterministic [`TapeReplay`]
+//!   closure during the sweeps — `O(ncheckpoints · segment)` peak tape
+//!   residency instead of `O(n)`, digest-verified bit-identical to the
+//!   unbounded sweep.
 //!
 //! ## Example: the paper's Figure 1 workflow
 //!
@@ -68,6 +76,7 @@ pub mod datadep;
 pub mod dual;
 pub mod error;
 pub mod real;
+pub mod replay;
 pub mod segment;
 pub mod sweep;
 pub mod tape;
@@ -78,7 +87,8 @@ pub use datadep::{DataDep, Witness};
 pub use dual::Dual;
 pub use error::AdError;
 pub use real::Real;
-pub use segment::{DEFAULT_NODE_LIMIT, DEFAULT_SEGMENT_LEN, NODE_BYTES};
+pub use replay::TapeReplay;
+pub use segment::{TapeCheckpointConfig, DEFAULT_NODE_LIMIT, DEFAULT_SEGMENT_LEN, NODE_BYTES};
 pub use sweep::{Gradient, SweepConfig, SweepStats};
 pub use tape::{Tape, TapeConfig, TapeSession, TapeStats};
 

@@ -1,4 +1,5 @@
-//! Fixed-size chunked arenas backing the tape.
+//! Fixed-size chunked arenas backing the tape, with optional
+//! divide-and-conquer eviction.
 //!
 //! The seed tape was one contiguous `Vec` per column. That had two scaling
 //! walls: growing past the reserved capacity copied the *entire* recording
@@ -11,11 +12,22 @@
 //! [`node budget`](crate::TapeConfig::node_limit) rather than an index
 //! type; and exhausting that budget *poisons* the store instead of
 //! aborting — the error surfaces as a typed
-//! [`AdError`](crate::AdError) at sweep time.
+//! [`AdError`] at sweep time.
 //!
 //! Segments are also the unit of parallelism for the reverse sweeps in
-//! [`crate::sweep`]: each one is an independent, contiguous block of the
-//! Wengert list whose adjoint chunk can be merged and swept separately.
+//! [`crate::sweep`] — and, since the bounded-memory refactor, the unit of
+//! **eviction**: under a [`TapeCheckpointConfig`] the store keeps at most
+//! `ncheckpoints` segments resident, replacing older ones with a
+//! `(len, digest)` summary. Evicted segments are *re-recorded* on demand
+//! by replaying the registered deterministic closure
+//! ([`crate::replay::TapeReplay`]) and verified bit-exactly against the
+//! stored digest — Siskind & Pearlmutter's divide-and-conquer
+//! checkpointing applied to the tape itself.
+
+use crate::error::AdError;
+use crate::replay::{self, ReplayCtx};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Sentinel node id meaning "no parent" (constant operand or leaf).
 pub(crate) const NONE: u64 = u64::MAX;
@@ -33,6 +45,79 @@ pub const DEFAULT_NODE_LIMIT: u64 = 1 << 48;
 /// Bytes per recorded node: two `u64` parent ids + two `f64` partials.
 pub const NODE_BYTES: usize = 2 * 8 + 2 * 8;
 
+/// Bounded-memory policy for a tape: keep at most `ncheckpoints` segments
+/// resident, evicting the rest to `(len, digest)` summaries that are
+/// re-recorded on demand during sweeps (see the module docs).
+///
+/// The knob mirrors dynamiqs' `CheckpointAutograd(ncheckpoints)`: peak
+/// tape residency is `O(ncheckpoints · segment)` instead of `O(n)`, at the
+/// cost of re-running the recording closure once per evicted window during
+/// the reverse sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TapeCheckpointConfig {
+    /// Maximum resident segments (the open recording segment included).
+    /// `0` means *auto*: `⌈log2(segments)⌉`, the classic
+    /// divide-and-conquer memory/recompute balance point.
+    pub ncheckpoints: usize,
+}
+
+impl TapeCheckpointConfig {
+    /// The auto policy: residency grows as `⌈log2(segments)⌉`.
+    pub fn auto() -> TapeCheckpointConfig {
+        TapeCheckpointConfig { ncheckpoints: 0 }
+    }
+
+    /// Keep at most `n` segments resident (`0` = auto).
+    pub fn with_ncheckpoints(n: usize) -> TapeCheckpointConfig {
+        TapeCheckpointConfig { ncheckpoints: n }
+    }
+
+    /// Derive the policy from a byte budget: the largest `ncheckpoints`
+    /// whose resident segments fit in `budget_bytes` for the given
+    /// (pre-rounding) `segment_len`. A budget smaller than one segment
+    /// cannot hold even the open recording segment and is a typed
+    /// [`AdError::InvalidConfig`], not a panic.
+    pub fn for_budget_bytes(
+        budget_bytes: usize,
+        segment_len: usize,
+    ) -> Result<TapeCheckpointConfig, AdError> {
+        let seg_bytes = rounded_segment_len(segment_len) * NODE_BYTES;
+        if budget_bytes < seg_bytes {
+            return Err(AdError::InvalidConfig {
+                reason: "tape checkpoint budget is smaller than one segment",
+            });
+        }
+        Ok(TapeCheckpointConfig {
+            ncheckpoints: budget_bytes / seg_bytes,
+        })
+    }
+
+    /// The residency bound in segments for a tape of `segments` segments:
+    /// `ncheckpoints` when explicit, `⌈log2(segments)⌉` (at least 1) for
+    /// the auto policy.
+    pub fn resolved(&self, segments: usize) -> usize {
+        if self.ncheckpoints > 0 {
+            self.ncheckpoints
+        } else if segments <= 2 {
+            1
+        } else {
+            (usize::BITS - (segments - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// The byte budget the resolved policy guarantees for a tape with the
+    /// given (pre-rounding) segment length and segment count: resident
+    /// bytes never exceed it while recording or sweeping sequentially.
+    pub fn budget_bytes(&self, segment_len: usize, segments: usize) -> usize {
+        self.resolved(segments) * rounded_segment_len(segment_len) * NODE_BYTES
+    }
+}
+
+/// The store's segment-length rounding, shared with the budget math.
+fn rounded_segment_len(segment_len: usize) -> usize {
+    segment_len.next_power_of_two().clamp(8, 1 << 31)
+}
+
 /// One fixed-capacity arena of nodes, in structure-of-arrays layout.
 ///
 /// The columns are allocated at full segment capacity on construction and
@@ -46,7 +131,7 @@ pub(crate) struct Segment {
 }
 
 impl Segment {
-    fn with_capacity(seg_len: usize) -> Segment {
+    pub(crate) fn with_capacity(seg_len: usize) -> Segment {
         Segment {
             p1: Vec::with_capacity(seg_len),
             p2: Vec::with_capacity(seg_len),
@@ -61,9 +146,129 @@ impl Segment {
     }
 }
 
-/// The segmented node store: an append-only sequence of [`Segment`]s.
+/// FNV-1a over the segment's columns (`f64` partials via `to_bits`), the
+/// bit-exactness witness an evicted segment leaves behind. Re-recorded
+/// segments must reproduce it exactly or the sweep fails with
+/// [`AdError::ReplayDivergence`].
+pub(crate) fn segment_digest(seg: &Segment) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(seg.len() as u64);
+    for off in 0..seg.len() {
+        eat(seg.p1[off]);
+        eat(seg.p2[off]);
+        eat(seg.d1[off].to_bits());
+        eat(seg.d2[off].to_bits());
+    }
+    h
+}
+
+/// Resident-byte accounting shared by every segment guard of one store:
+/// guards `acquire` on allocation and `release` on drop, so `resident`
+/// tracks live arena memory exactly and `peak` its high-water mark — the
+/// measurable form of the bounded-memory claim.
+pub(crate) struct MemCounters {
+    resident: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemCounters {
+    fn new() -> MemCounters {
+        MemCounters {
+            resident: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    fn acquire(&self, bytes: usize) {
+        let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn release(&self, bytes: usize) {
+        self.resident.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A resident segment plus its accounting: allocation is charged on
+/// construction and credited back when the last reference drops, so
+/// eviction frees (and un-counts) memory exactly when the data dies, even
+/// if a sweep still pins the segment briefly.
+pub(crate) struct SegGuard {
+    seg: Segment,
+    bytes: usize,
+    mem: Arc<MemCounters>,
+}
+
+impl SegGuard {
+    fn new(seg: Segment, bytes: usize, mem: Arc<MemCounters>) -> SegGuard {
+        mem.acquire(bytes);
+        SegGuard { seg, bytes, mem }
+    }
+}
+
+impl Drop for SegGuard {
+    fn drop(&mut self) {
+        self.mem.release(self.bytes);
+    }
+}
+
+impl std::ops::Deref for SegGuard {
+    type Target = Segment;
+    fn deref(&self) -> &Segment {
+        &self.seg
+    }
+}
+
+impl std::ops::DerefMut for SegGuard {
+    fn deref_mut(&mut self) -> &mut Segment {
+        &mut self.seg
+    }
+}
+
+/// One sealed segment slot: either the data itself or the summary an
+/// eviction left behind.
+enum SlotState {
+    Resident(Arc<SegGuard>),
+    Evicted { len: usize, digest: u64 },
+}
+
+impl SlotState {
+    fn len(&self) -> usize {
+        match self {
+            SlotState::Resident(seg) => seg.len(),
+            SlotState::Evicted { len, .. } => *len,
+        }
+    }
+}
+
+/// Which way a sweep walks the tape; evicted segments are re-recorded in
+/// windows oriented along the walk so each window is replayed once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Dir {
+    /// Reverse sweeps (value/structural): window ends at the requested
+    /// segment.
+    Rev,
+    /// Forward passes (def-use bits, witness scans): window starts at the
+    /// requested segment.
+    Fwd,
+}
+
+/// The segmented node store: an append-only sequence of segments.
+///
+/// Sealed segments live behind a single `Mutex` so sweeps (which take
+/// `&self`) can demote and re-materialize them; the *open* segment is a
+/// plain field, keeping the record hot path lock-free.
 pub(crate) struct SegmentStore {
-    segments: Vec<Segment>,
+    slots: Mutex<Vec<SlotState>>,
+    open: Option<SegGuard>,
     /// log2 of the segment length.
     shift: u32,
     /// `segment_len - 1`, for offset extraction.
@@ -74,6 +279,11 @@ pub(crate) struct SegmentStore {
     limit: u64,
     /// True once a push was dropped because the budget was exhausted.
     overflowed: bool,
+    /// Bounded-residency policy; `None` keeps every segment resident.
+    ckpt: Option<TapeCheckpointConfig>,
+    mem: Arc<MemCounters>,
+    /// Segments re-recorded over this store's lifetime.
+    replayed: AtomicU64,
 }
 
 impl SegmentStore {
@@ -81,15 +291,24 @@ impl SegmentStore {
     /// a power of two in `[8, 2^31]`) and room pre-reserved in the segment
     /// spine for `capacity` nodes. No segment memory is allocated until
     /// the first push.
-    pub(crate) fn new(capacity: usize, segment_len: usize, limit: u64) -> SegmentStore {
-        let seg_len = segment_len.next_power_of_two().clamp(8, 1 << 31);
+    pub(crate) fn new(
+        capacity: usize,
+        segment_len: usize,
+        limit: u64,
+        ckpt: Option<TapeCheckpointConfig>,
+    ) -> SegmentStore {
+        let seg_len = rounded_segment_len(segment_len);
         SegmentStore {
-            segments: Vec::with_capacity(capacity.div_ceil(seg_len)),
+            slots: Mutex::new(Vec::with_capacity(capacity.div_ceil(seg_len))),
+            open: None,
             shift: seg_len.trailing_zeros(),
             mask: (seg_len - 1) as u64,
             len: 0,
             limit: limit.min(NONE - 1),
             overflowed: false,
+            ckpt,
+            mem: Arc::new(MemCounters::new()),
+            replayed: AtomicU64::new(0),
         }
     }
 
@@ -123,15 +342,59 @@ impl SegmentStore {
         self.overflowed
     }
 
-    /// All segments, oldest first.
-    pub(crate) fn segments(&self) -> &[Segment] {
-        &self.segments
+    /// The bounded-residency policy, if any.
+    pub(crate) fn checkpoint(&self) -> Option<TapeCheckpointConfig> {
+        self.ckpt
     }
 
-    /// Heap bytes actually allocated for node storage (every opened
-    /// segment reserves its full capacity up front).
-    pub(crate) fn allocated_bytes(&self) -> usize {
-        self.segments.len() * self.segment_len() * NODE_BYTES
+    /// Total segments ever opened (resident, evicted, and the open one).
+    pub(crate) fn seg_count(&self) -> usize {
+        self.slots.lock().unwrap().len() + usize::from(self.open.is_some())
+    }
+
+    /// Nodes recorded into segment `s` (known even when evicted).
+    pub(crate) fn seg_nodes(&self, s: usize) -> usize {
+        let slots = self.slots.lock().unwrap();
+        if s < slots.len() {
+            slots[s].len()
+        } else {
+            self.open.as_ref().map_or(0, |seg| seg.len())
+        }
+    }
+
+    /// Segments currently evicted to summaries.
+    pub(crate) fn evicted_count(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| matches!(s, SlotState::Evicted { .. }))
+            .count()
+    }
+
+    /// Segments re-recorded over this store's lifetime.
+    pub(crate) fn replayed_total(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Full logical footprint: what an unbounded tape would allocate
+    /// (every segment at fixed capacity, evicted or not).
+    pub(crate) fn total_bytes(&self) -> usize {
+        self.seg_count() * self.seg_bytes()
+    }
+
+    /// Arena bytes currently resident (evicted segments excluded).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.mem.resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`SegmentStore::resident_bytes`].
+    pub(crate) fn peak_resident_bytes(&self) -> usize {
+        self.mem.peak.load(Ordering::Relaxed)
+    }
+
+    fn seg_bytes(&self) -> usize {
+        self.segment_len() * NODE_BYTES
     }
 
     /// Append a node; returns its id, or [`NONE`] if the budget is
@@ -144,20 +407,176 @@ impl SegmentStore {
             return NONE;
         }
         let idx = self.len;
-        if (idx & self.mask) == 0 && (idx >> self.shift) as usize == self.segments.len() {
-            self.segments
-                .push(Segment::with_capacity(self.segment_len()));
+        if (idx & self.mask) == 0 {
+            // One residency slot is reserved for the segment about to open.
+            self.seal_open_with(1);
+            self.open = Some(SegGuard::new(
+                Segment::with_capacity(self.segment_len()),
+                self.seg_bytes(),
+                self.mem.clone(),
+            ));
         }
         let seg = self
-            .segments
-            .last_mut()
-            .expect("a segment exists after the open-on-boundary check");
+            .open
+            .as_mut()
+            .expect("an open segment exists after the open-on-boundary check");
         seg.p1.push(p1);
         seg.p2.push(p2);
         seg.d1.push(d1);
         seg.d2.push(d2);
         self.len += 1;
         idx
+    }
+
+    /// Seal the open segment into the slot table and enforce the
+    /// residency budget with the full budget available (called when a
+    /// recording session finishes — the tail stays resident for the
+    /// imminent reverse sweep). Idempotent when nothing is open.
+    pub(crate) fn seal_open(&mut self) {
+        self.seal_open_with(0);
+    }
+
+    /// Seal with `reserve` residency slots held back (recording reserves
+    /// one for the next open segment).
+    fn seal_open_with(&mut self, reserve: usize) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let slots = self.slots.get_mut().unwrap();
+        slots.push(SlotState::Resident(Arc::new(open)));
+        let Some(cfg) = self.ckpt else {
+            return;
+        };
+        let total = slots.len();
+        // Sealed segments may keep `resolved - reserve` residency slots;
+        // with `ncheckpoints = 1` and a reservation, that is zero — the
+        // open segment alone is the whole budget.
+        let allowed = cfg.resolved(total).max(1).saturating_sub(reserve);
+        let mut resident = slots
+            .iter()
+            .filter(|s| matches!(s, SlotState::Resident(_)))
+            .count();
+        for slot in slots.iter_mut() {
+            if resident <= allowed {
+                break;
+            }
+            if let SlotState::Resident(seg) = slot {
+                let summary = SlotState::Evicted {
+                    len: seg.len(),
+                    digest: segment_digest(seg),
+                };
+                *slot = summary;
+                resident -= 1;
+            }
+        }
+    }
+
+    /// A view of segment `s` for a sweep walking in direction `dir`:
+    /// resident segments are returned directly; evicted ones are
+    /// re-recorded (a contiguous window of up to `ncheckpoints` segments
+    /// at a time, after demoting unpinned resident segments so the byte
+    /// budget holds) via the replayer in `ctx`, with each re-recorded
+    /// segment verified against its stored digest.
+    pub(crate) fn view(
+        &self,
+        s: usize,
+        dir: Dir,
+        ctx: &ReplayCtx<'_>,
+    ) -> Result<Arc<SegGuard>, AdError> {
+        let mut slots = self.slots.lock().unwrap();
+        assert!(s < slots.len(), "segment {s} is not sealed");
+        if let SlotState::Resident(seg) = &slots[s] {
+            return Ok(seg.clone());
+        }
+        let Some(replayer) = ctx.replayer else {
+            return Err(AdError::SegmentEvicted { segment: s as u64 });
+        };
+        let total = slots.len();
+        let budget = self.ckpt.map_or(1, |c| c.resolved(total)).max(1);
+        // The maximal contiguous evicted run around `s`, clipped to the
+        // residency budget along the walk direction.
+        let mut lo = s;
+        while lo > 0 && matches!(slots[lo - 1], SlotState::Evicted { .. }) {
+            lo -= 1;
+        }
+        let mut hi = s;
+        while hi + 1 < total && matches!(slots[hi + 1], SlotState::Evicted { .. }) {
+            hi += 1;
+        }
+        let (w0, w1) = match dir {
+            Dir::Rev => (lo.max(s + 1 - budget.min(s + 1)), s),
+            Dir::Fwd => (s, hi.min(s + budget - 1)),
+        };
+        // Demote everything resident outside the window (unless a caller
+        // still pins it) so materializing the window keeps residency at or
+        // under the budget.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if (w0..=w1).contains(&i) {
+                continue;
+            }
+            if let SlotState::Resident(seg) = slot {
+                if Arc::strong_count(seg) == 1 {
+                    let summary = SlotState::Evicted {
+                        len: seg.len(),
+                        digest: segment_digest(seg),
+                    };
+                    *slot = summary;
+                }
+            }
+        }
+        let window = w1 - w0 + 1;
+        let span = scrutiny_obs::span!(
+            ctx.rec,
+            "ad.replay",
+            segment = s,
+            window_start = w0,
+            window_len = window
+        );
+        let (segs, replayed_len) =
+            replay::rerecord(replayer, self.shift, w0, window, self.segment_len());
+        drop(span);
+        if replayed_len != self.len {
+            return Err(AdError::ReplayDivergence {
+                segment: u64::MAX,
+                expected: self.len,
+                actual: replayed_len,
+            });
+        }
+        for (i, seg) in segs.into_iter().enumerate() {
+            let idx = w0 + i;
+            let (len, digest) = match slots[idx] {
+                SlotState::Evicted { len, digest } => (len, digest),
+                // A resident slot inside the window cannot occur: the
+                // window is a sub-range of the contiguous evicted run.
+                SlotState::Resident(_) => unreachable!("window slot {idx} is resident"),
+            };
+            if seg.len() != len {
+                return Err(AdError::ReplayDivergence {
+                    segment: idx as u64,
+                    expected: len as u64,
+                    actual: seg.len() as u64,
+                });
+            }
+            let actual = segment_digest(&seg);
+            if actual != digest {
+                return Err(AdError::ReplayDivergence {
+                    segment: idx as u64,
+                    expected: digest,
+                    actual,
+                });
+            }
+            slots[idx] = SlotState::Resident(Arc::new(SegGuard::new(
+                seg,
+                self.seg_bytes(),
+                self.mem.clone(),
+            )));
+        }
+        self.replayed.fetch_add(window as u64, Ordering::Relaxed);
+        ctx.replayed.fetch_add(window as u64, Ordering::Relaxed);
+        match &slots[s] {
+            SlotState::Resident(seg) => Ok(seg.clone()),
+            SlotState::Evicted { .. } => unreachable!("segment {s} was just re-recorded"),
+        }
     }
 }
 
@@ -167,31 +586,36 @@ mod tests {
 
     #[test]
     fn segment_len_rounds_to_power_of_two() {
-        let s = SegmentStore::new(0, 100, DEFAULT_NODE_LIMIT);
+        let s = SegmentStore::new(0, 100, DEFAULT_NODE_LIMIT, None);
         assert_eq!(s.segment_len(), 128);
-        let s = SegmentStore::new(0, 1, DEFAULT_NODE_LIMIT);
+        let s = SegmentStore::new(0, 1, DEFAULT_NODE_LIMIT, None);
         assert_eq!(s.segment_len(), 8);
     }
 
     #[test]
     fn push_crosses_segment_boundaries_without_moving_data() {
-        let mut s = SegmentStore::new(0, 8, DEFAULT_NODE_LIMIT);
+        let mut s = SegmentStore::new(0, 8, DEFAULT_NODE_LIMIT, None);
         for i in 0..20u64 {
             assert_eq!(s.push(NONE, 0.0, NONE, i as f64), i);
         }
-        assert_eq!(s.segments().len(), 3);
-        assert_eq!(s.segments()[0].len(), 8);
-        assert_eq!(s.segments()[2].len(), 4);
+        s.seal_open();
+        assert_eq!(s.seg_count(), 3);
+        assert_eq!(s.seg_nodes(0), 8);
+        assert_eq!(s.seg_nodes(2), 4);
         // Column capacity is exact: no segment ever reallocates.
-        for seg in s.segments() {
-            assert_eq!(seg.d2.capacity(), 8);
+        let ctx = ReplayCtx::none();
+        for seg in 0..3 {
+            let view = s.view(seg, Dir::Fwd, &ctx).unwrap();
+            assert_eq!(view.d2.capacity(), 8);
         }
-        assert_eq!(s.allocated_bytes(), 3 * 8 * NODE_BYTES);
+        assert_eq!(s.total_bytes(), 3 * 8 * NODE_BYTES);
+        assert_eq!(s.resident_bytes(), 3 * 8 * NODE_BYTES);
+        assert_eq!(s.peak_resident_bytes(), 3 * 8 * NODE_BYTES);
     }
 
     #[test]
     fn budget_exhaustion_poisons_instead_of_panicking() {
-        let mut s = SegmentStore::new(0, 8, 10);
+        let mut s = SegmentStore::new(0, 8, 10, None);
         for _ in 0..10 {
             assert_ne!(s.push(NONE, 0.0, NONE, 0.0), NONE);
         }
@@ -199,5 +623,72 @@ mod tests {
         assert_eq!(s.push(NONE, 0.0, NONE, 0.0), NONE);
         assert!(s.overflowed());
         assert_eq!(s.len(), 10, "dropped nodes are not counted");
+    }
+
+    #[test]
+    fn checkpointed_recording_evicts_and_bounds_residency() {
+        let ckpt = TapeCheckpointConfig::with_ncheckpoints(2);
+        let mut s = SegmentStore::new(0, 8, DEFAULT_NODE_LIMIT, Some(ckpt));
+        for i in 0..64u64 {
+            s.push(NONE, 0.0, NONE, i as f64);
+        }
+        s.seal_open();
+        assert_eq!(s.seg_count(), 8);
+        assert_eq!(s.evicted_count(), 6, "only the budget stays resident");
+        assert!(s.peak_resident_bytes() <= 2 * 8 * NODE_BYTES);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_segment_is_a_typed_error() {
+        let seg_bytes = 8 * NODE_BYTES;
+        assert!(matches!(
+            TapeCheckpointConfig::for_budget_bytes(seg_bytes - 1, 8),
+            Err(AdError::InvalidConfig { .. })
+        ));
+        let cfg = TapeCheckpointConfig::for_budget_bytes(3 * seg_bytes, 8).unwrap();
+        assert_eq!(cfg.ncheckpoints, 3);
+    }
+
+    #[test]
+    fn auto_policy_resolves_to_ceil_log2() {
+        let auto = TapeCheckpointConfig::auto();
+        assert_eq!(auto.resolved(1), 1);
+        assert_eq!(auto.resolved(2), 1);
+        assert_eq!(auto.resolved(3), 2);
+        assert_eq!(auto.resolved(8), 3);
+        assert_eq!(auto.resolved(9), 4);
+        assert_eq!(auto.resolved(1024), 10);
+        let fixed = TapeCheckpointConfig::with_ncheckpoints(5);
+        assert_eq!(fixed.resolved(1024), 5);
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        let mut a = Segment::with_capacity(8);
+        let mut b = Segment::with_capacity(8);
+        for seg in [&mut a, &mut b] {
+            seg.p1.push(3);
+            seg.p2.push(NONE);
+            seg.d1.push(1.5);
+            seg.d2.push(0.0);
+        }
+        assert_eq!(segment_digest(&a), segment_digest(&b));
+        b.d1[0] = 1.5000000001;
+        assert_ne!(segment_digest(&a), segment_digest(&b));
+    }
+
+    #[test]
+    fn evicted_view_without_replayer_is_a_typed_error() {
+        let ckpt = TapeCheckpointConfig::with_ncheckpoints(1);
+        let mut s = SegmentStore::new(0, 8, DEFAULT_NODE_LIMIT, Some(ckpt));
+        for _ in 0..32 {
+            s.push(NONE, 0.0, NONE, 0.0);
+        }
+        s.seal_open();
+        let ctx = ReplayCtx::none();
+        match s.view(0, Dir::Rev, &ctx) {
+            Err(e) => assert_eq!(e, AdError::SegmentEvicted { segment: 0 }),
+            Ok(_) => panic!("view of an evicted segment without a replayer succeeded"),
+        }
     }
 }

@@ -31,9 +31,20 @@
 //! Structural reachability uses the same schedule with per-segment
 //! **bitsets**: reachability is a monotone OR, so its merge order could
 //! not matter — the deterministic schedule is shared anyway.
+//!
+//! **Bounded memory.** Under a [`crate::TapeCheckpointConfig`] the sweep
+//! thread fetches each segment through [`crate::segment`]'s windowed
+//! `view` instead of a resident slice: evicted segments are re-recorded
+//! (and digest-verified) on demand through the replay context, and
+//! segments behind the sweep are demoted again, so tape residency stays at
+//! `O(ncheckpoints · segment)` for the whole walk. Only the single sweep
+//! thread touches segment columns — the merge workers operate on adjoint
+//! chunks alone — so the frontier schedule (and its bit-identity argument)
+//! is untouched by eviction.
 
 use crate::error::AdError;
-use crate::segment::{Segment, NONE};
+use crate::replay::ReplayCtx;
+use crate::segment::{Dir, Segment, NONE};
 use crate::tape::Tape;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -83,6 +94,15 @@ pub struct SweepStats {
     pub cross_contribs: u64,
     /// True when the frontier-merge workers ran.
     pub parallel: bool,
+    /// Segments re-recorded by replay during this sweep; `0` when every
+    /// segment was resident.
+    pub replayed_segments: u64,
+    /// High-water mark of resident tape-arena bytes over the tape's
+    /// lifetime so far (recording included). Under a
+    /// [`crate::TapeCheckpointConfig`] this is the measurable
+    /// bounded-memory guarantee: it stays within
+    /// `ncheckpoints × segment bytes` however long the tape is.
+    pub peak_resident_bytes: usize,
 }
 
 impl SweepStats {
@@ -104,6 +124,14 @@ impl SweepStats {
             &format!("ad.sweep.{which}.parallel"),
             i64::from(self.parallel),
         );
+        rec.set_gauge(
+            &format!("ad.sweep.{which}.replayed_segments"),
+            self.replayed_segments as i64,
+        );
+        rec.set_gauge(
+            &format!("ad.sweep.{which}.peak_resident_bytes"),
+            self.peak_resident_bytes as i64,
+        );
     }
 
     /// Reconstructs the stats of the most recent `which` sweep from a
@@ -116,18 +144,24 @@ impl SweepStats {
             threads: snap.gauge(&format!("ad.sweep.{which}.threads"))? as usize,
             cross_contribs: snap.gauge(&format!("ad.sweep.{which}.cross_contribs"))? as u64,
             parallel: snap.gauge(&format!("ad.sweep.{which}.parallel"))? != 0,
+            replayed_segments: snap.gauge(&format!("ad.sweep.{which}.replayed_segments"))? as u64,
+            peak_resident_bytes: snap.gauge(&format!("ad.sweep.{which}.peak_resident_bytes"))?
+                as usize,
         })
     }
 
     /// Merges stats from repeated sweeps over the same tape (burn-in
-    /// aggregation): structural fields (`segments`, `threads`) take the
-    /// maximum, frontier traffic **sums**, `parallel` ORs.
+    /// aggregation): structural fields (`segments`, `threads`,
+    /// `peak_resident_bytes`) take the maximum, traffic counters
+    /// (`cross_contribs`, `replayed_segments`) **sum**, `parallel` ORs.
     pub fn merged_with(&self, other: &SweepStats) -> SweepStats {
         SweepStats {
             segments: self.segments.max(other.segments),
             threads: self.threads.max(other.threads),
             cross_contribs: self.cross_contribs + other.cross_contribs,
             parallel: self.parallel || other.parallel,
+            replayed_segments: self.replayed_segments + other.replayed_segments,
+            peak_resident_bytes: self.peak_resident_bytes.max(other.peak_resident_bytes),
         }
     }
 }
@@ -194,7 +228,18 @@ pub(crate) fn constant_stats() -> SweepStats {
         threads: 1,
         cross_contribs: 0,
         parallel: false,
+        replayed_segments: 0,
+        peak_resident_bytes: 0,
     }
+}
+
+/// Fill in the replay/residency fields once a sweep finished: how many
+/// segments this context re-recorded, and the tape's resident high-water
+/// mark (which the sweep may just have raised).
+fn finalize_stats(mut stats: SweepStats, tape: &Tape, ctx: &ReplayCtx<'_>) -> SweepStats {
+    stats.replayed_segments = ctx.replayed_count();
+    stats.peak_resident_bytes = tape.store().peak_resident_bytes();
+    stats
 }
 
 // ---- the shared deterministic schedule -----------------------------------
@@ -270,25 +315,31 @@ impl Gate {
 /// `applied[s] == sent[s]` before sweeping segment `s` — at which point no
 /// later source can send to `s` again, so per-slot merge order equals the
 /// serial contribution order.
+///
+/// Segment columns are fetched through windowed views — only this thread
+/// touches them, so eviction/replay composes with the merge schedule
+/// without changing it. A replay failure aborts the sweep with its typed
+/// error once the workers have drained.
 fn run_frontier_sweep<K: SweepKernel>(
     tape: &Tape,
     out: u64,
     workers: usize,
     kernel: &K,
-) -> (Vec<K::Chunk>, SweepStats) {
+    ctx: &ReplayCtx<'_>,
+) -> Result<(Vec<K::Chunk>, SweepStats), AdError> {
     let store = tape.store();
     let shift = store.shift();
     let mask = store.mask();
     let last_seg = (out >> shift) as usize;
-    let segments = store.segments();
 
     let chunks: Vec<Mutex<K::Chunk>> = (0..=last_seg)
-        .map(|s| Mutex::new(kernel.new_chunk(segments[s].len())))
+        .map(|s| Mutex::new(kernel.new_chunk(store.seg_nodes(s))))
         .collect();
     kernel.seed(&mut chunks[last_seg].lock().unwrap(), (out & mask) as usize);
     let applied: Vec<AtomicU64> = (0..=last_seg).map(|_| AtomicU64::new(0)).collect();
     let gate = Gate::new();
     let mut cross = 0u64;
+    let mut failed = None;
 
     let mut txs = Vec::with_capacity(workers);
     let mut rxs = Vec::with_capacity(workers);
@@ -319,9 +370,16 @@ fn run_frontier_sweep<K: SweepKernel>(
             // Segment `s` may be swept once every frontier buffer sent to
             // it (all from segments > s, all already swept) is merged.
             gate.wait_for(&applied[s], sent[s]);
+            let seg = match store.view(s, Dir::Rev, ctx) {
+                Ok(seg) => seg,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            };
             let mut frontier: Vec<Vec<K::Item>> = (0..s).map(|_| Vec::new()).collect();
             kernel.sweep_segment(
-                &segments[s],
+                &seg,
                 s,
                 shift,
                 mask,
@@ -341,33 +399,42 @@ fn run_frontier_sweep<K: SweepKernel>(
         }
         drop(txs);
     });
+    if let Some(e) = failed {
+        return Err(e);
+    }
 
     let stats = SweepStats {
         segments: last_seg + 1,
         threads: workers + 1,
         cross_contribs: cross,
         parallel: true,
+        ..constant_stats()
     };
-    (
+    Ok((
         chunks
             .into_iter()
             .map(|c| c.into_inner().unwrap())
             .collect(),
         stats,
-    )
+    ))
 }
 
 // ---- value sweep ---------------------------------------------------------
 
 /// Serial value sweep: the seed algorithm, walked segment by segment.
-pub(crate) fn gradient_serial(tape: &Tape, out: u64) -> Result<(Gradient, SweepStats), AdError> {
+pub(crate) fn gradient_serial(
+    tape: &Tape,
+    out: u64,
+    ctx: &ReplayCtx<'_>,
+) -> Result<(Gradient, SweepStats), AdError> {
     check_seed(tape, out)?;
     let store = tape.store();
     let shift = store.shift();
     let mut adj = vec![0.0f64; tape.len()];
     adj[out as usize] = 1.0;
     let last_seg = (out >> shift) as usize;
-    for (s, seg) in store.segments().iter().enumerate().take(last_seg + 1).rev() {
+    for s in (0..=last_seg).rev() {
+        let seg = store.view(s, Dir::Rev, ctx)?;
         let base = s << shift;
         let top = if s == last_seg {
             out as usize - base
@@ -394,6 +461,7 @@ pub(crate) fn gradient_serial(tape: &Tape, out: u64) -> Result<(Gradient, SweepS
         threads: 1,
         cross_contribs: 0,
         parallel: false,
+        ..constant_stats()
     };
     Ok((Gradient { adj }, stats))
 }
@@ -456,15 +524,16 @@ pub(crate) fn gradient_parallel(
     tape: &Tape,
     out: u64,
     threads: usize,
+    ctx: &ReplayCtx<'_>,
 ) -> Result<(Gradient, SweepStats), AdError> {
     check_seed(tape, out)?;
     let last_seg = (out >> tape.store().shift()) as usize;
     // A single segment has no cross-segment frontier; nothing to merge.
     let workers = threads.saturating_sub(1).min(last_seg);
     if workers == 0 {
-        return gradient_serial(tape, out);
+        return gradient_serial(tape, out, ctx);
     }
-    let (chunks, stats) = run_frontier_sweep(tape, out, workers, &GradientKernel);
+    let (chunks, stats) = run_frontier_sweep(tape, out, workers, &GradientKernel, ctx)?;
     let mut adj = Vec::with_capacity(tape.len());
     for chunk in chunks {
         adj.extend(chunk);
@@ -479,13 +548,15 @@ pub(crate) fn gradient_auto(
     tape: &Tape,
     out: u64,
     cfg: SweepConfig,
+    ctx: &ReplayCtx<'_>,
 ) -> Result<(Gradient, SweepStats), AdError> {
     let threads = cfg.resolve();
-    if threads >= 2 && (out >> tape.store().shift()) >= 1 {
-        gradient_parallel(tape, out, threads)
+    let (g, stats) = if threads >= 2 && (out >> tape.store().shift()) >= 1 {
+        gradient_parallel(tape, out, threads, ctx)?
     } else {
-        gradient_serial(tape, out)
-    }
+        gradient_serial(tape, out, ctx)?
+    };
+    Ok((g, finalize_stats(stats, tape, ctx)))
 }
 
 // ---- structural sweep ----------------------------------------------------
@@ -501,14 +572,19 @@ fn bit_get(words: &[u64], off: usize) -> bool {
 }
 
 /// Serial structural sweep (seed algorithm over segments).
-pub(crate) fn reachable_serial(tape: &Tape, out: u64) -> Result<(Vec<bool>, SweepStats), AdError> {
+pub(crate) fn reachable_serial(
+    tape: &Tape,
+    out: u64,
+    ctx: &ReplayCtx<'_>,
+) -> Result<(Vec<bool>, SweepStats), AdError> {
     check_seed(tape, out)?;
     let store = tape.store();
     let shift = store.shift();
     let mut reach = vec![false; tape.len()];
     reach[out as usize] = true;
     let last_seg = (out >> shift) as usize;
-    for (s, seg) in store.segments().iter().enumerate().take(last_seg + 1).rev() {
+    for s in (0..=last_seg).rev() {
+        let seg = store.view(s, Dir::Rev, ctx)?;
         let base = s << shift;
         let top = if s == last_seg {
             out as usize - base
@@ -534,6 +610,7 @@ pub(crate) fn reachable_serial(tape: &Tape, out: u64) -> Result<(Vec<bool>, Swee
         threads: 1,
         cross_contribs: 0,
         parallel: false,
+        ..constant_stats()
     };
     Ok((reach, stats))
 }
@@ -594,18 +671,19 @@ pub(crate) fn reachable_parallel(
     tape: &Tape,
     out: u64,
     threads: usize,
+    ctx: &ReplayCtx<'_>,
 ) -> Result<(Vec<bool>, SweepStats), AdError> {
     check_seed(tape, out)?;
-    let last_seg = (out >> tape.store().shift()) as usize;
+    let store = tape.store();
+    let last_seg = (out >> store.shift()) as usize;
     let workers = threads.saturating_sub(1).min(last_seg);
     if workers == 0 {
-        return reachable_serial(tape, out);
+        return reachable_serial(tape, out, ctx);
     }
-    let (chunks, stats) = run_frontier_sweep(tape, out, workers, &ReachKernel);
-    let segments = tape.store().segments();
+    let (chunks, stats) = run_frontier_sweep(tape, out, workers, &ReachKernel, ctx)?;
     let mut reach = Vec::with_capacity(tape.len());
     for (s, words) in chunks.into_iter().enumerate() {
-        let n = segments[s].len();
+        let n = store.seg_nodes(s);
         reach.extend((0..n).map(|off| bit_get(&words, off)));
     }
     reach.resize(tape.len(), false);
@@ -617,11 +695,13 @@ pub(crate) fn reachable_auto(
     tape: &Tape,
     out: u64,
     cfg: SweepConfig,
+    ctx: &ReplayCtx<'_>,
 ) -> Result<(Vec<bool>, SweepStats), AdError> {
     let threads = cfg.resolve();
-    if threads >= 2 && (out >> tape.store().shift()) >= 1 {
-        reachable_parallel(tape, out, threads)
+    let (r, stats) = if threads >= 2 && (out >> tape.store().shift()) >= 1 {
+        reachable_parallel(tape, out, threads, ctx)?
     } else {
-        reachable_serial(tape, out)
-    }
+        reachable_serial(tape, out, ctx)?
+    };
+    Ok((r, finalize_stats(stats, tape, ctx)))
 }

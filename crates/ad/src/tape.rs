@@ -11,12 +11,19 @@
 //! never reallocate, `u64` node ids with segment-local indexing, and a
 //! typed [`AdError`] instead of a panic when the recording budget is
 //! exhausted. The segments are also the unit of parallelism for the
-//! reverse sweeps.
+//! reverse sweeps — and of *eviction* under a [`TapeCheckpointConfig`],
+//! where interior segments are discarded during recording and re-recorded
+//! on demand through the `*_replay` sweep entry points
+//! ([`crate::replay`]).
 
 use crate::datadep::{self, DataDep};
 use crate::error::AdError;
-use crate::segment::{SegmentStore, DEFAULT_NODE_LIMIT, DEFAULT_SEGMENT_LEN, NODE_BYTES};
+use crate::replay::{ReplayCtx, ReplaySink, TapeReplay};
+use crate::segment::{
+    SegmentStore, TapeCheckpointConfig, DEFAULT_NODE_LIMIT, DEFAULT_SEGMENT_LEN, NODE_BYTES,
+};
 use crate::sweep::{self, Gradient, SweepConfig, SweepStats};
+use scrutiny_obs::Recorder;
 use std::cell::RefCell;
 
 pub(crate) use crate::segment::NONE;
@@ -36,6 +43,12 @@ pub struct TapeConfig {
     /// Recording budget in nodes. Exceeding it poisons the tape with
     /// [`AdError::TapeOverflow`] instead of aborting the run.
     pub node_limit: u64,
+    /// Bounded-residency policy: keep at most `ncheckpoints` segments in
+    /// memory, evicting the rest to digests that are re-recorded on
+    /// demand during sweeps. `None` (the default) keeps every segment
+    /// resident; a checkpointed tape must be swept through the
+    /// `*_replay` entry points.
+    pub checkpoint: Option<TapeCheckpointConfig>,
 }
 
 impl Default for TapeConfig {
@@ -44,6 +57,7 @@ impl Default for TapeConfig {
             capacity: 1024,
             segment_len: DEFAULT_SEGMENT_LEN,
             node_limit: DEFAULT_NODE_LIMIT,
+            checkpoint: None,
         }
     }
 }
@@ -77,7 +91,12 @@ impl Tape {
     /// Create an empty tape with explicit segmentation and budget.
     pub fn with_config(cfg: TapeConfig) -> Self {
         Tape {
-            store: SegmentStore::new(cfg.capacity, cfg.segment_len, cfg.node_limit),
+            store: SegmentStore::new(
+                cfg.capacity,
+                cfg.segment_len,
+                cfg.node_limit,
+                cfg.checkpoint,
+            ),
             leaves: 0,
         }
     }
@@ -102,14 +121,33 @@ impl Tape {
         self.store.segment_len()
     }
 
-    /// Segments currently allocated.
+    /// Segments recorded (resident and evicted alike).
     pub fn segment_count(&self) -> usize {
-        self.store.segments().len()
+        self.store.seg_count()
     }
 
     /// The recording budget this tape was configured with.
     pub fn node_limit(&self) -> u64 {
         self.store.limit()
+    }
+
+    /// The bounded-residency policy this tape records under, if any.
+    pub fn checkpoint(&self) -> Option<TapeCheckpointConfig> {
+        self.store.checkpoint()
+    }
+
+    /// Arena bytes currently resident. Without a checkpoint policy this
+    /// equals the full allocated footprint; under one, evicted segments
+    /// are not counted (their memory is freed).
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
+    }
+
+    /// High-water mark of [`Tape::resident_bytes`] over the tape's
+    /// lifetime — recording *and* every sweep/replay so far. The
+    /// measurable form of the bounded-memory guarantee.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.store.peak_resident_bytes()
     }
 
     /// True once recording was dropped because the budget was exhausted.
@@ -123,6 +161,12 @@ impl Tape {
         &self.store
     }
 
+    /// Seal the open recording segment into the sweepable slot table.
+    /// Called by [`TapeSession::finish`]; idempotent.
+    pub(crate) fn seal(&mut self) {
+        self.store.seal_open();
+    }
+
     /// Size and composition counters, for memory accounting in reports.
     pub fn stats(&self) -> TapeStats {
         let nodes = self.len();
@@ -131,7 +175,11 @@ impl Tape {
             leaves: self.leaves,
             segments: self.segment_count(),
             segment_len: self.segment_len(),
-            bytes: self.store.allocated_bytes(),
+            bytes: self.store.total_bytes(),
+            resident_bytes: self.store.resident_bytes(),
+            peak_resident_bytes: self.store.peak_resident_bytes(),
+            evicted_segments: self.store.evicted_count(),
+            replayed_segments: self.store.replayed_total(),
             sweep_bytes: nodes * 8 + nodes.div_ceil(8),
         }
     }
@@ -161,7 +209,9 @@ impl Tape {
     ///
     /// A constant output (an [`crate::Adj`] that never touched the tape)
     /// yields an all-zero gradient: nothing influenced it. A poisoned
-    /// (overflowed) tape yields [`AdError::TapeOverflow`].
+    /// (overflowed) tape yields [`AdError::TapeOverflow`]; a checkpointed
+    /// tape with evicted segments yields [`AdError::SegmentEvicted`]
+    /// (use [`Tape::gradient_sweep_replay`]).
     pub fn gradient(&self, output: crate::Adj) -> Result<Gradient, AdError> {
         self.gradient_sweep(output, SweepConfig::default())
             .map(|(g, _)| g)
@@ -169,7 +219,8 @@ impl Tape {
 
     /// Reverse sweep seeded at an explicit node index.
     pub fn gradient_of(&self, output: u64) -> Result<Gradient, AdError> {
-        sweep::gradient_auto(self, output, SweepConfig::default()).map(|(g, _)| g)
+        sweep::gradient_auto(self, output, SweepConfig::default(), &ReplayCtx::none())
+            .map(|(g, _)| g)
     }
 
     /// Reverse sweep with an explicit [`SweepConfig`], also reporting
@@ -179,8 +230,31 @@ impl Tape {
         output: crate::Adj,
         cfg: SweepConfig,
     ) -> Result<(Gradient, SweepStats), AdError> {
+        self.gradient_sweep_ctx(output, cfg, &ReplayCtx::none())
+    }
+
+    /// [`Tape::gradient_sweep`] on a checkpointed tape: evicted segments
+    /// are re-recorded on demand by `replay` (which must deterministically
+    /// repeat the recorded computation), keeping residency within the
+    /// [`TapeCheckpointConfig`] budget. Bit-identical to the unbounded
+    /// sweep; a diverging replay is [`AdError::ReplayDivergence`].
+    pub fn gradient_sweep_replay(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        replay: &dyn TapeReplay,
+    ) -> Result<(Gradient, SweepStats), AdError> {
+        self.gradient_sweep_ctx(output, cfg, &ReplayCtx::new(replay, Recorder::disabled()))
+    }
+
+    fn gradient_sweep_ctx(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        ctx: &ReplayCtx<'_>,
+    ) -> Result<(Gradient, SweepStats), AdError> {
         match output.index() {
-            Some(idx) => sweep::gradient_auto(self, idx, cfg),
+            Some(idx) => sweep::gradient_auto(self, idx, cfg, ctx),
             None => {
                 if self.overflowed() {
                     return Err(AdError::TapeOverflow {
@@ -219,7 +293,8 @@ impl Tape {
 
     /// Structural sweep seeded at an explicit node index.
     pub fn reachable_of(&self, output: u64) -> Result<Vec<bool>, AdError> {
-        sweep::reachable_auto(self, output, SweepConfig::default()).map(|(r, _)| r)
+        sweep::reachable_auto(self, output, SweepConfig::default(), &ReplayCtx::none())
+            .map(|(r, _)| r)
     }
 
     /// Structural sweep with an explicit [`SweepConfig`] and stats.
@@ -228,8 +303,29 @@ impl Tape {
         output: crate::Adj,
         cfg: SweepConfig,
     ) -> Result<(Vec<bool>, SweepStats), AdError> {
+        self.reachable_sweep_ctx(output, cfg, &ReplayCtx::none())
+    }
+
+    /// [`Tape::reachable_sweep`] on a checkpointed tape, re-recording
+    /// evicted segments through `replay`. See
+    /// [`Tape::gradient_sweep_replay`] for the contract.
+    pub fn reachable_sweep_replay(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        replay: &dyn TapeReplay,
+    ) -> Result<(Vec<bool>, SweepStats), AdError> {
+        self.reachable_sweep_ctx(output, cfg, &ReplayCtx::new(replay, Recorder::disabled()))
+    }
+
+    fn reachable_sweep_ctx(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        ctx: &ReplayCtx<'_>,
+    ) -> Result<(Vec<bool>, SweepStats), AdError> {
         match output.index() {
-            Some(idx) => sweep::reachable_auto(self, idx, cfg),
+            Some(idx) => sweep::reachable_auto(self, idx, cfg, ctx),
             None => {
                 if self.overflowed() {
                     return Err(AdError::TapeOverflow {
@@ -260,12 +356,29 @@ impl Tape {
 
     /// Data-dependency analysis with an explicit [`SweepConfig`].
     pub fn datadep_sweep(&self, output: crate::Adj, cfg: SweepConfig) -> Result<DataDep, AdError> {
-        datadep::analyze(self, output.index(), cfg)
+        datadep::analyze(self, output.index(), cfg, &ReplayCtx::none())
+    }
+
+    /// [`Tape::datadep_sweep`] on a checkpointed tape, re-recording
+    /// evicted segments through `replay` (the forward def-use pass and
+    /// the reverse liveness sweep both stay within the residency budget).
+    pub fn datadep_sweep_replay(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        replay: &dyn TapeReplay,
+    ) -> Result<DataDep, AdError> {
+        datadep::analyze(
+            self,
+            output.index(),
+            cfg,
+            &ReplayCtx::new(replay, Recorder::disabled()),
+        )
     }
 
     /// Data-dependency analysis seeded at an explicit node index.
     pub fn datadep_of(&self, output: u64, cfg: SweepConfig) -> Result<DataDep, AdError> {
-        datadep::analyze(self, Some(output), cfg)
+        datadep::analyze(self, Some(output), cfg, &ReplayCtx::none())
     }
 
     // ----- observed sweeps -------------------------------------------
@@ -275,7 +388,8 @@ impl Tape {
     // resulting [`SweepStats`] as gauges via [`SweepStats::emit`], so the
     // analysis layer can derive its report from the recorder instead of
     // plumbing the struct through by hand. With a disabled recorder they
-    // are exactly the plain sweeps.
+    // are exactly the plain sweeps. The `_replay_observed` variants
+    // additionally report each re-recording as an `ad.replay` span.
 
     /// [`Tape::gradient_sweep`] reporting through an obs recorder
     /// (span `ad.sweep.value`, gauges `ad.sweep.value.*`).
@@ -283,7 +397,7 @@ impl Tape {
         &self,
         output: crate::Adj,
         cfg: SweepConfig,
-        rec: &scrutiny_obs::Recorder,
+        rec: &Recorder,
     ) -> Result<(Gradient, SweepStats), AdError> {
         let shape = self.stats();
         let _span = scrutiny_obs::span!(
@@ -297,13 +411,35 @@ impl Tape {
         Ok((gradient, stats))
     }
 
+    /// [`Tape::gradient_sweep_replay`] reporting through an obs recorder:
+    /// the sweep span plus one `ad.replay` span per re-recorded window.
+    pub fn gradient_sweep_replay_observed(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        replay: &dyn TapeReplay,
+        rec: &Recorder,
+    ) -> Result<(Gradient, SweepStats), AdError> {
+        let shape = self.stats();
+        let _span = scrutiny_obs::span!(
+            rec,
+            "ad.sweep.value",
+            nodes = shape.nodes,
+            segments = shape.segments
+        );
+        let ctx = ReplayCtx::new(replay, rec.clone());
+        let (gradient, stats) = self.gradient_sweep_ctx(output, cfg, &ctx)?;
+        stats.emit(rec, "value");
+        Ok((gradient, stats))
+    }
+
     /// [`Tape::reachable_sweep`] reporting through an obs recorder
     /// (span `ad.sweep.reach`, gauges `ad.sweep.reach.*`).
     pub fn reachable_sweep_observed(
         &self,
         output: crate::Adj,
         cfg: SweepConfig,
-        rec: &scrutiny_obs::Recorder,
+        rec: &Recorder,
     ) -> Result<(Vec<bool>, SweepStats), AdError> {
         let shape = self.stats();
         let _span = scrutiny_obs::span!(
@@ -317,13 +453,34 @@ impl Tape {
         Ok((reach, stats))
     }
 
+    /// [`Tape::reachable_sweep_replay`] reporting through an obs recorder.
+    pub fn reachable_sweep_replay_observed(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        replay: &dyn TapeReplay,
+        rec: &Recorder,
+    ) -> Result<(Vec<bool>, SweepStats), AdError> {
+        let shape = self.stats();
+        let _span = scrutiny_obs::span!(
+            rec,
+            "ad.sweep.reach",
+            nodes = shape.nodes,
+            segments = shape.segments
+        );
+        let ctx = ReplayCtx::new(replay, rec.clone());
+        let (reach, stats) = self.reachable_sweep_ctx(output, cfg, &ctx)?;
+        stats.emit(rec, "reach");
+        Ok((reach, stats))
+    }
+
     /// [`Tape::datadep_sweep`] reporting through an obs recorder
     /// (span `ad.sweep.datadep`, gauges `ad.sweep.datadep.*`).
     pub fn datadep_sweep_observed(
         &self,
         output: crate::Adj,
         cfg: SweepConfig,
-        rec: &scrutiny_obs::Recorder,
+        rec: &Recorder,
     ) -> Result<DataDep, AdError> {
         let shape = self.stats();
         let _span = scrutiny_obs::span!(
@@ -336,26 +493,59 @@ impl Tape {
         dd.stats().emit(rec, "datadep");
         Ok(dd)
     }
+
+    /// [`Tape::datadep_sweep_replay`] reporting through an obs recorder.
+    pub fn datadep_sweep_replay_observed(
+        &self,
+        output: crate::Adj,
+        cfg: SweepConfig,
+        replay: &dyn TapeReplay,
+        rec: &Recorder,
+    ) -> Result<DataDep, AdError> {
+        let shape = self.stats();
+        let _span = scrutiny_obs::span!(
+            rec,
+            "ad.sweep.datadep",
+            nodes = shape.nodes,
+            segments = shape.segments
+        );
+        let ctx = ReplayCtx::new(replay, rec.clone());
+        let dd = datadep::analyze(self, output.index(), cfg, &ctx)?;
+        dd.stats().emit(rec, "datadep");
+        Ok(dd)
+    }
 }
 
 /// Memory/size counters for a recorded tape.
 ///
-/// `bytes` is the heap actually *allocated* (every opened segment reserves
-/// its full fixed capacity), not a `len × node-size` estimate — the
-/// distinction the seed's accounting got wrong.
+/// `bytes` is the full logical footprint — what every opened segment
+/// reserves at fixed capacity, whether currently resident or evicted.
+/// Under a [`TapeCheckpointConfig`] the memory actually held is
+/// `resident_bytes`, and the bounded-memory guarantee is stated over
+/// `peak_resident_bytes` — the high-water mark across recording and every
+/// sweep, which eviction keeps at `O(ncheckpoints · segment)` instead of
+/// `O(bytes)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TapeStats {
     /// Total nodes recorded (leaves included).
     pub nodes: usize,
     /// Leaf (input) nodes.
     pub leaves: usize,
-    /// Segments allocated.
+    /// Segments recorded (resident and evicted alike).
     pub segments: usize,
     /// Nodes per segment.
     pub segment_len: usize,
-    /// Heap bytes allocated by the tape arenas (full segment capacity,
-    /// whether or not the last segment is full).
+    /// Full logical footprint of the recording: every segment at its
+    /// fixed capacity, evicted or not. What an unbounded tape allocates.
     pub bytes: usize,
+    /// Arena bytes currently resident (evicted segments excluded).
+    pub resident_bytes: usize,
+    /// High-water mark of resident arena bytes over the tape's lifetime.
+    pub peak_resident_bytes: usize,
+    /// Segments currently evicted to `(len, digest)` summaries.
+    pub evicted_segments: usize,
+    /// Segments re-recorded by replay over the tape's lifetime.
+    pub replayed_segments: u64,
     /// Additional transient heap a full analysis needs while sweeping:
     /// the dense adjoint vector (8 bytes/node) plus the reachability
     /// bitset (1 bit/node).
@@ -369,8 +559,15 @@ impl TapeStats {
     }
 }
 
+/// The thread-local recording target: a [`Tape`] during a normal session,
+/// a [`ReplaySink`] while re-recording evicted segments.
+enum Active {
+    Record(Tape),
+    Replay(ReplaySink),
+}
+
 thread_local! {
-    static ACTIVE: RefCell<Option<Tape>> = const { RefCell::new(None) };
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
 }
 
 /// RAII guard for the thread-local recording session.
@@ -400,8 +597,8 @@ impl TapeSession {
         })
     }
 
-    /// Start recording with an explicit [`TapeConfig`] (segment length and
-    /// node budget included).
+    /// Start recording with an explicit [`TapeConfig`] (segment length,
+    /// node budget, and checkpoint policy included).
     pub fn with_config(cfg: TapeConfig) -> Self {
         ACTIVE.with(|slot| {
             let mut slot = slot.borrow_mut();
@@ -409,22 +606,36 @@ impl TapeSession {
                 slot.is_none(),
                 "a TapeSession is already active on this thread; sessions do not nest"
             );
-            *slot = Some(Tape::with_config(cfg));
+            *slot = Some(Active::Record(Tape::with_config(cfg)));
         });
         TapeSession { finished: false }
     }
 
-    /// Stop recording and take ownership of the tape.
+    /// Stop recording and take ownership of the tape (sealed: the open
+    /// segment joins the sweepable slot table, and under a checkpoint
+    /// policy the residency budget is enforced one final time).
     pub fn finish(mut self) -> Tape {
         self.finished = true;
-        ACTIVE
+        let active = ACTIVE
             .with(|slot| slot.borrow_mut().take())
-            .expect("active tape vanished while the session guard was alive")
+            .expect("active tape vanished while the session guard was alive");
+        match active {
+            Active::Record(mut tape) => {
+                tape.seal();
+                tape
+            }
+            Active::Replay(_) => {
+                unreachable!("a TapeSession cannot be active during a replay")
+            }
+        }
     }
 
     /// Nodes recorded so far (useful for progress/capacity diagnostics).
     pub fn recorded(&self) -> usize {
-        ACTIVE.with(|slot| slot.borrow().as_ref().map_or(0, |t| t.len()))
+        ACTIVE.with(|slot| match slot.borrow().as_ref() {
+            Some(Active::Record(t)) => t.len(),
+            _ => 0,
+        })
     }
 }
 
@@ -444,26 +655,67 @@ impl Drop for TapeSession {
 
 /// True if a recording session is active on this thread.
 pub fn recording() -> bool {
-    ACTIVE.with(|slot| slot.borrow().is_some())
+    ACTIVE.with(|slot| matches!(slot.borrow().as_ref(), Some(Active::Record(_))))
+}
+
+/// Install a replay sink on this thread (see [`crate::replay`]). Panics
+/// if a recording session or another replay is active — replays run on
+/// sweep threads, never inside a session.
+pub(crate) fn begin_replay(sink: ReplaySink) {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "cannot replay while a TapeSession or another replay is active on this thread"
+        );
+        *slot = Some(Active::Replay(sink));
+    });
+}
+
+/// Remove and return the replay sink installed by [`begin_replay`].
+pub(crate) fn take_replay() -> ReplaySink {
+    ACTIVE.with(|slot| match slot.borrow_mut().take() {
+        Some(Active::Replay(sink)) => sink,
+        _ => unreachable!("take_replay without an installed replay sink"),
+    })
+}
+
+/// Clear the replay sink unconditionally (unwind path: a panicking replay
+/// closure must not leave the thread's recording slot poisoned).
+pub(crate) fn abort_replay() {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if matches!(slot.as_ref(), Some(Active::Replay(_))) {
+            *slot = None;
+        }
+    });
 }
 
 #[inline]
 pub(crate) fn record_node(p1: u64, d1: f64, p2: u64, d2: f64) -> u64 {
     ACTIVE.with(|slot| {
-        slot.borrow_mut()
+        match slot
+            .borrow_mut()
             .as_mut()
             .expect("arithmetic on tracked Adj values requires an active TapeSession")
-            .push(p1, d1, p2, d2)
+        {
+            Active::Record(tape) => tape.push(p1, d1, p2, d2),
+            Active::Replay(sink) => sink.push(p1, d1, p2, d2),
+        }
     })
 }
 
 #[inline]
 pub(crate) fn record_leaf() -> u64 {
     ACTIVE.with(|slot| {
-        slot.borrow_mut()
+        match slot
+            .borrow_mut()
             .as_mut()
             .expect("Adj::leaf requires an active TapeSession")
-            .push_leaf()
+        {
+            Active::Record(tape) => tape.push_leaf(),
+            Active::Replay(sink) => sink.push(NONE, 0.0, NONE, 0.0),
+        }
     })
 }
 
@@ -502,6 +754,12 @@ mod tests {
         assert_eq!(stats.bytes, 2 * 8 * NODE_BYTES);
         assert_eq!(stats.bytes, 2 * stats.bytes_per_segment());
         assert_eq!(stats.sweep_bytes, 11 * 8 + 2);
+        // Nothing is evicted without a checkpoint policy: resident is the
+        // full footprint and already the peak.
+        assert_eq!(stats.resident_bytes, stats.bytes);
+        assert_eq!(stats.peak_resident_bytes, stats.bytes);
+        assert_eq!(stats.evicted_segments, 0);
+        assert_eq!(stats.replayed_segments, 0);
     }
 
     #[test]
@@ -634,5 +892,92 @@ mod tests {
         let start = leaves[0].index().unwrap();
         let grads = g.of_range(start, 4);
         assert_eq!(grads, &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    // ----- checkpointed tapes ----------------------------------------
+
+    /// A deterministic multi-segment computation usable both as the
+    /// original recording and as its own replay closure.
+    fn chain_computation() -> (Adj, Adj) {
+        let x = Adj::leaf(1.5);
+        let y = Adj::leaf(-0.25);
+        let mut acc = x * 2.0 + y;
+        for i in 0..200 {
+            acc = acc * 1.001 + x * (i as f64 * 0.01) - y;
+        }
+        (x, acc)
+    }
+
+    fn checkpointed_cfg(n: usize) -> TapeConfig {
+        TapeConfig {
+            segment_len: 32,
+            checkpoint: Some(TapeCheckpointConfig::with_ncheckpoints(n)),
+            ..TapeConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpointed_gradient_is_bit_identical_to_unbounded() {
+        let s = TapeSession::with_config(TapeConfig {
+            segment_len: 32,
+            ..TapeConfig::default()
+        });
+        let (x, out) = chain_computation();
+        let tape = s.finish();
+        let unbounded = tape.gradient(out).unwrap();
+
+        let s = TapeSession::with_config(checkpointed_cfg(2));
+        let (cx, cout) = chain_computation();
+        let ctape = s.finish();
+        assert!(ctape.stats().evicted_segments > 0, "eviction happened");
+        // Ids line up: the replay is the same computation.
+        assert_eq!(x.index(), cx.index());
+        let replay = || {
+            let _ = chain_computation();
+        };
+        let (g, stats) = ctape
+            .gradient_sweep_replay(cout, SweepConfig::serial(), &replay)
+            .unwrap();
+        assert_eq!(g.wrt(cx).to_bits(), unbounded.wrt(x).to_bits());
+        assert!(stats.replayed_segments > 0, "replay actually ran");
+        // Residency never exceeded the configured budget.
+        let budget = 2 * 32 * NODE_BYTES;
+        assert!(
+            ctape.peak_resident_bytes() <= budget,
+            "peak {} > budget {}",
+            ctape.peak_resident_bytes(),
+            budget
+        );
+    }
+
+    #[test]
+    fn evicted_sweep_without_replayer_is_a_typed_error() {
+        let s = TapeSession::with_config(checkpointed_cfg(1));
+        let (_, out) = chain_computation();
+        let tape = s.finish();
+        assert!(matches!(
+            tape.gradient(out).unwrap_err(),
+            AdError::SegmentEvicted { .. }
+        ));
+    }
+
+    #[test]
+    fn divergent_replay_is_a_typed_error() {
+        let s = TapeSession::with_config(checkpointed_cfg(1));
+        let (_, out) = chain_computation();
+        let tape = s.finish();
+        // A replay that records *different* arithmetic diverges.
+        let bad = || {
+            let x = Adj::leaf(99.0);
+            let mut acc = x;
+            for _ in 0..500 {
+                acc *= 1.5;
+            }
+        };
+        assert!(matches!(
+            tape.gradient_sweep_replay(out, SweepConfig::serial(), &bad)
+                .unwrap_err(),
+            AdError::ReplayDivergence { .. }
+        ));
     }
 }

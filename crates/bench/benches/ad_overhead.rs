@@ -14,7 +14,7 @@
 //! Run with: `cargo bench -p scrutiny-bench --bench ad_overhead`
 
 use criterion::{criterion_group, Criterion};
-use scrutiny_ad::{SweepConfig, Tape, TapeConfig, TapeSession};
+use scrutiny_ad::{SweepConfig, Tape, TapeCheckpointConfig, TapeConfig, TapeSession};
 use scrutiny_core::site::NoopSite;
 use scrutiny_core::{LeafSite, ScrutinyApp};
 use scrutiny_npb::{Bt, Ep};
@@ -22,9 +22,19 @@ use std::time::Instant;
 
 /// Record `app` once and return its tape plus the output node.
 fn record(app: &dyn ScrutinyApp, segment_len: usize) -> (scrutiny_ad::Adj, Tape) {
+    record_bounded(app, segment_len, None)
+}
+
+/// [`record`] under an optional tape residency budget.
+fn record_bounded(
+    app: &dyn ScrutinyApp,
+    segment_len: usize,
+    checkpoint: Option<TapeCheckpointConfig>,
+) -> (scrutiny_ad::Adj, Tape) {
     let s = TapeSession::with_config(TapeConfig {
         capacity: app.tape_capacity_hint(),
         segment_len,
+        checkpoint,
         ..TapeConfig::default()
     });
     let mut site = LeafSite::new();
@@ -163,6 +173,81 @@ fn report_segmented_vs_seed() {
     );
 }
 
+/// What bounded tape residency costs: record throughput and value-sweep
+/// time at a few checkpoint budgets against the unbounded tape, with the
+/// peak resident bytes each budget actually reached. The sweeps replay
+/// evicted segments by re-running the app, so sweep time grows roughly
+/// with `segments / ncheckpoints` extra recordings — that recompute is
+/// the price of the O(ncheckpoints · segment) memory bound, and this is
+/// where it gets a number.
+fn report_checkpointed(summary: &scrutiny_bench::BenchSummary) {
+    const SEG: usize = 1 << 14;
+    let bt = Bt::mini();
+    // Must mirror the recording run exactly (leaves included), or the
+    // digest check will refuse the re-recorded segments.
+    let replay = || {
+        let mut site = LeafSite::new();
+        bt.run_ad(&mut site);
+    };
+
+    let (out, full) = record(&bt, SEG);
+    let nodes = full.len();
+    let segments = full.segment_count();
+    let t_record_full = measure(5, || record(&bt, SEG).1.len());
+    let t_sweep_full = measure(5, || {
+        full.gradient_sweep(out, SweepConfig::serial())
+            .unwrap()
+            .0
+            .len()
+    });
+    summary.set_value(
+        "ad.ckpt.unbounded.peak_resident_bytes",
+        full.peak_resident_bytes() as i64,
+    );
+
+    println!("\n== bounded-memory tape (BT mini, {nodes} nodes, {segments} segments) ==");
+    println!(
+        "unbounded          record {:>8.1} Mnodes/s   sweep {:>8.2} ms   peak {:>10} B",
+        nodes as f64 / t_record_full / 1e6,
+        t_sweep_full * 1e3,
+        full.peak_resident_bytes(),
+    );
+    for (label, ckpt) in [
+        ("auto", TapeCheckpointConfig::auto()),
+        ("n=4", TapeCheckpointConfig::with_ncheckpoints(4)),
+        ("n=2", TapeCheckpointConfig::with_ncheckpoints(2)),
+    ] {
+        let (out_b, tape) = record_bounded(&bt, SEG, Some(ckpt));
+        let t_record = measure(5, || record_bounded(&bt, SEG, Some(ckpt)).1.len());
+        let t_sweep = measure(3, || {
+            tape.gradient_sweep_replay(out_b, SweepConfig::serial(), &replay)
+                .unwrap()
+                .0
+                .len()
+        });
+        let peak = tape.peak_resident_bytes();
+        let n = ckpt.resolved(segments);
+        println!(
+            "ncheckpoints={n:<3} ({label:<4}) record {:>6.1} Mnodes/s   sweep {:>8.2} ms   peak {:>10} B   {} replays",
+            nodes as f64 / t_record / 1e6,
+            t_sweep * 1e3,
+            peak,
+            tape.stats().replayed_segments,
+        );
+        let key = |m: &str| format!("ad.ckpt.{label}.{m}");
+        summary.set_value(&key("peak_resident_bytes"), peak as i64);
+        summary.set_value(
+            &key("record_nodes_per_sec"),
+            (nodes as f64 / t_record) as i64,
+        );
+        summary.set_value(&key("sweep_us"), (t_sweep * 1e6) as i64);
+        summary.set_value(
+            &key("replayed_segments"),
+            tape.stats().replayed_segments as i64,
+        );
+    }
+}
+
 criterion_group!(benches, bench);
 
 fn main() {
@@ -175,6 +260,7 @@ fn main() {
     let enumerating = std::env::args().any(|a| a == "--list" || a == "--test");
     if !enumerating {
         report_segmented_vs_seed();
+        report_checkpointed(&summary);
     }
     summary.write_and_report();
 }

@@ -29,7 +29,8 @@ use crate::site::{LeafRange, LeafSite};
 use crate::spec::{AppSpec, VarSpec};
 use scrutiny_ad::tape::TapeStats;
 use scrutiny_ad::{
-    AdError, Adj, DataDep, SweepConfig, SweepStats, Tape, TapeConfig, TapeSession, Witness,
+    AdError, Adj, DataDep, SweepConfig, SweepStats, Tape, TapeCheckpointConfig, TapeConfig,
+    TapeSession, Witness,
 };
 use scrutiny_ckpt::{Bitmap, DType, Regions};
 use scrutiny_obs::Recorder;
@@ -174,6 +175,15 @@ pub struct ScrutinyOptions {
     /// Analysis backend: the AD value criterion (default), the static
     /// data-dependency analyzer, or both cross-checked.
     pub analyzer: Analyzer,
+    /// Bounded-memory tape checkpointing: keep at most `ncheckpoints`
+    /// segments resident (0 = auto ≈ log2(segments)), discarding the rest
+    /// during recording and re-recording them on demand — by re-running
+    /// the application — during the sweeps. Verdicts stay bit-identical
+    /// to the unbounded analysis; peak tape residency drops from the
+    /// full recording to `ncheckpoints × segment` bytes. Requires the
+    /// application's AD run to be deterministic (every NPB kernel is);
+    /// nondeterminism is caught as [`AdError::ReplayDivergence`].
+    pub tape_checkpoints: Option<TapeCheckpointConfig>,
     /// Observability sink: record/sweep phase spans and the sweep gauges
     /// the report's [`SweepStats`] views are derived from. The default is
     /// [`Recorder::disabled`]; the analysis then uses a small private
@@ -190,6 +200,7 @@ impl Default for ScrutinyOptions {
             threads: 0,
             node_limit: tape.node_limit,
             analyzer: Analyzer::Ad,
+            tape_checkpoints: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -307,29 +318,61 @@ pub fn scrutinize_with(
     let sweeps_span = scrutiny_obs::span!(obs, "core.analysis.sweeps");
     match opts.analyzer {
         Analyzer::Ad => {
-            // The two sweeps are independent; run them concurrently. Each
-            // may additionally parallelize its own frontier merging. They
-            // report into the recorder themselves (spans `ad.sweep.value`
-            // / `ad.sweep.reach`, gauges `ad.sweep.<kind>.*`).
-            let (value_res, reach_res) = std::thread::scope(|scope| {
-                let reach =
-                    scope.spawn(|| rec.tape.reachable_sweep_observed(rec.output, cfg, &obs));
-                let value = rec.tape.gradient_sweep_observed(rec.output, cfg, &obs);
-                (value, reach.join().expect("structural sweep panicked"))
-            });
-            let (grads, _) = value_res?;
-            let (reach, _) = reach_res?;
+            let (grads, reach) = if opts.tape_checkpoints.is_some() {
+                // Checkpointed tape: the sweeps run sequentially — each
+                // replays evicted segments through a re-run of the
+                // application, and running them concurrently would fight
+                // over the same residency budget.
+                let replay = app_replayer(app);
+                let (grads, _) = rec
+                    .tape
+                    .gradient_sweep_replay_observed(rec.output, cfg, &replay, &obs)?;
+                let (reach, _) = rec
+                    .tape
+                    .reachable_sweep_replay_observed(rec.output, cfg, &replay, &obs)?;
+                (grads, reach)
+            } else {
+                // The two sweeps are independent; run them concurrently.
+                // Each may additionally parallelize its own frontier
+                // merging. They report into the recorder themselves
+                // (spans `ad.sweep.value` / `ad.sweep.reach`, gauges
+                // `ad.sweep.<kind>.*`).
+                let (value_res, reach_res) = std::thread::scope(|scope| {
+                    let reach =
+                        scope.spawn(|| rec.tape.reachable_sweep_observed(rec.output, cfg, &obs));
+                    let value = rec.tape.gradient_sweep_observed(rec.output, cfg, &obs);
+                    (value, reach.join().expect("structural sweep panicked"))
+                });
+                (value_res?.0, reach_res?.0)
+            };
             drop(sweeps_span);
             let vars = ad_vars(&rec, &grads, &reach);
             Ok(rec.report(Analyzer::Ad, &obs, ("value", "reach"), vars, t0))
         }
         Analyzer::DataDep => {
-            let dd = rec.tape.datadep_sweep_observed(rec.output, cfg, &obs)?;
+            let dd = if opts.tape_checkpoints.is_some() {
+                let replay = app_replayer(app);
+                rec.tape
+                    .datadep_sweep_replay_observed(rec.output, cfg, &replay, &obs)?
+            } else {
+                rec.tape.datadep_sweep_observed(rec.output, cfg, &obs)?
+            };
             drop(sweeps_span);
             let vars = datadep_vars(&rec, &dd);
             Ok(rec.report(Analyzer::DataDep, &obs, ("datadep", "datadep"), vars, t0))
         }
         Analyzer::Both => unreachable!("dispatched above"),
+    }
+}
+
+/// The replay closure for bounded-memory sweeps: re-run the application's
+/// AD pass exactly as [`record_app`] did (fresh leaf site, same
+/// checkpoint boundary), but with the thread's replay sink — not a tape —
+/// receiving the nodes. Determinism is verified per segment by digest.
+fn app_replayer(app: &dyn ScrutinyApp) -> impl Fn() + '_ {
+    move || {
+        let mut site = LeafSite::new();
+        let _ = app.run_ad(&mut site);
     }
 }
 
@@ -347,20 +390,35 @@ pub fn scrutinize_differential(
         threads: opts.threads,
     };
     let sweeps_span = scrutiny_obs::span!(obs, "core.analysis.sweeps");
-    let (value_res, reach_res, dd_res) = std::thread::scope(|scope| {
-        let reach = scope.spawn(|| rec.tape.reachable_sweep_observed(rec.output, cfg, &obs));
-        let dd = scope.spawn(|| rec.tape.datadep_sweep_observed(rec.output, cfg, &obs));
-        let value = rec.tape.gradient_sweep_observed(rec.output, cfg, &obs);
-        (
-            value,
-            reach.join().expect("structural sweep panicked"),
-            dd.join().expect("datadep sweep panicked"),
-        )
-    });
+    let (grads, reach, dd) = if opts.tape_checkpoints.is_some() {
+        // Bounded-memory tape: all three sweeps share one residency
+        // budget, so they run sequentially, each replaying evicted
+        // segments as it walks.
+        let replay = app_replayer(app);
+        let (grads, _) = rec
+            .tape
+            .gradient_sweep_replay_observed(rec.output, cfg, &replay, &obs)?;
+        let (reach, _) = rec
+            .tape
+            .reachable_sweep_replay_observed(rec.output, cfg, &replay, &obs)?;
+        let dd = rec
+            .tape
+            .datadep_sweep_replay_observed(rec.output, cfg, &replay, &obs)?;
+        (grads, reach, dd)
+    } else {
+        let (value_res, reach_res, dd_res) = std::thread::scope(|scope| {
+            let reach = scope.spawn(|| rec.tape.reachable_sweep_observed(rec.output, cfg, &obs));
+            let dd = scope.spawn(|| rec.tape.datadep_sweep_observed(rec.output, cfg, &obs));
+            let value = rec.tape.gradient_sweep_observed(rec.output, cfg, &obs);
+            (
+                value,
+                reach.join().expect("structural sweep panicked"),
+                dd.join().expect("datadep sweep panicked"),
+            )
+        });
+        (value_res?.0, reach_res?.0, dd_res?)
+    };
     drop(sweeps_span);
-    let (grads, _) = value_res?;
-    let (reach, _) = reach_res?;
-    let dd = dd_res?;
 
     let ad_vars = ad_vars(&rec, &grads, &reach);
     let dd_vars = datadep_vars(&rec, &dd);
@@ -449,6 +507,7 @@ fn record_app(app: &dyn ScrutinyApp, opts: &ScrutinyOptions, obs: &Recorder) -> 
         capacity: opts.capacity.unwrap_or_else(|| app.tape_capacity_hint()),
         segment_len: opts.segment_len,
         node_limit: opts.node_limit,
+        checkpoint: opts.tape_checkpoints,
     });
     let mut site = LeafSite::new();
     let outcome = app.run_ad(&mut site);
@@ -735,6 +794,92 @@ mod tests {
                     "gradients must be bit-identical"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn checkpointed_tape_matches_unbounded_bit_for_bit() {
+        // Bounded-memory scrutiny: evict all but a couple of segments
+        // during recording and replay them on demand in the sweeps. The
+        // criticality maps and every gradient bit must match the
+        // unbounded analysis exactly.
+        let app = Heat1d::new(16, 8, 4);
+        for analyzer in [Analyzer::Ad, Analyzer::DataDep] {
+            let base = scrutinize_with(
+                &app,
+                &ScrutinyOptions {
+                    segment_len: 64,
+                    analyzer,
+                    ..ScrutinyOptions::default()
+                },
+            )
+            .unwrap();
+            let bounded = scrutinize_with(
+                &app,
+                &ScrutinyOptions {
+                    segment_len: 64,
+                    analyzer,
+                    tape_checkpoints: Some(TapeCheckpointConfig::with_ncheckpoints(2)),
+                    ..ScrutinyOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                bounded.tape_stats.replayed_segments > 0,
+                "eviction must have forced replays ({analyzer:?})"
+            );
+            assert!(
+                bounded.tape_stats.peak_resident_bytes < bounded.tape_stats.bytes,
+                "peak residency must stay below the full tape ({analyzer:?})"
+            );
+            for (va, vb) in base.vars.iter().zip(&bounded.vars) {
+                assert_eq!(va.value_map, vb.value_map, "map for {}", va.spec.name);
+                assert_eq!(va.structural_map, vb.structural_map);
+                for (ga, gb) in va.grad_mag.iter().zip(&vb.grad_mag) {
+                    assert_eq!(
+                        ga.to_bits(),
+                        gb.to_bits(),
+                        "gradients must be bit-identical under replay"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_differential_report_agrees_with_unbounded() {
+        // The differential harness (value + structural + datadep, all
+        // sequential under one residency budget) must reach the same
+        // verdicts as its concurrent unbounded form.
+        let app = Heat1d::new(16, 8, 4);
+        let base = scrutinize_differential(
+            &app,
+            &ScrutinyOptions {
+                segment_len: 64,
+                ..ScrutinyOptions::default()
+            },
+        )
+        .unwrap();
+        let bounded = scrutinize_differential(
+            &app,
+            &ScrutinyOptions {
+                segment_len: 64,
+                tape_checkpoints: Some(TapeCheckpointConfig::auto()),
+                ..ScrutinyOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            base.disagreements.len(),
+            bounded.disagreements.len(),
+            "replay must not change the differential verdicts"
+        );
+        for (va, vb) in base.ad.vars.iter().zip(&bounded.ad.vars) {
+            assert_eq!(va.value_map, vb.value_map);
+            assert_eq!(va.structural_map, vb.structural_map);
+        }
+        for (va, vb) in base.datadep.vars.iter().zip(&bounded.datadep.vars) {
+            assert_eq!(va.value_map, vb.value_map);
         }
     }
 

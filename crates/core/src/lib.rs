@@ -88,7 +88,10 @@ pub use site::{CaptureSite, CkptSite, LeafSite, RestoreSite, VarRefMut};
 pub use spec::{AppSpec, VarSpec};
 
 // Re-export the scalar abstraction so applications depend on one crate.
-pub use scrutiny_ad::{AdError, Adj, Cplx, DataDep, Dual, Real, SweepConfig, SweepStats, Witness};
+pub use scrutiny_ad::{
+    AdError, Adj, Cplx, DataDep, Dual, Real, SweepConfig, SweepStats, TapeCheckpointConfig,
+    TapeReplay, Witness,
+};
 // Re-export the observability substrate: every layer below reports into a
 // [`Recorder`], and the stats structs are views over its snapshots.
 pub use scrutiny_ckpt::{Bitmap, DType, FillPolicy, Regions, VarData, VarPlan, VarRecord};

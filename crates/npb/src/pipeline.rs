@@ -18,9 +18,9 @@
 use crate::{Cg, Ft};
 use scrutiny_core::restart::capture_state;
 use scrutiny_core::{
-    checkpoint_recover_cycle_async, checkpoint_restart_cycle_async, submit_checkpoint,
-    AnalysisReport, EngineError, EngineHandle, Policy, Recorder, RecoveryConfig, RestartConfig,
-    ScrutinyApp, VarData, VarRecord,
+    checkpoint_recover_cycle_async, checkpoint_restart_cycle_async, scrutinize_with,
+    submit_checkpoint, AnalysisReport, EngineError, EngineHandle, Policy, Recorder, RecoveryConfig,
+    RestartConfig, ScrutinyApp, ScrutinyOptions, TapeCheckpointConfig, VarData, VarRecord,
 };
 use scrutiny_faultinj::StorageScenario;
 
@@ -407,6 +407,106 @@ pub fn burn_in_recover_observed(
         rejected_versions: report.recovery.rejected_versions(),
         verified: report.restart.verified,
         rel_err: report.restart.rel_err,
+    })
+}
+
+/// Outcome of one [`burn_in_bounded`] run: a burn-in whose criticality
+/// maps came from a **bounded-memory** analysis tape, cross-checked
+/// bit-for-bit against the unbounded analysis of the same run.
+#[derive(Clone, Debug)]
+pub struct BoundedBurnInReport {
+    /// The burn-in itself (driven by the *bounded* analysis).
+    pub burn_in: BurnInReport,
+    /// Full logical tape footprint of the unbounded recording, bytes.
+    pub unbounded_tape_bytes: usize,
+    /// Residency budget the bounded analysis ran under, bytes.
+    pub budget_bytes: usize,
+    /// Highest tape residency the bounded analysis ever reached, bytes.
+    pub peak_resident_bytes: usize,
+    /// Segments the bounded sweeps re-recorded on demand.
+    pub replayed_segments: u64,
+    /// Did the bounded analysis reproduce the unbounded one bit-for-bit
+    /// (criticality maps, every gradient bit, the primal output)?
+    pub bit_identical: bool,
+}
+
+/// Scrutinize `app` twice — once unbounded, once under `ckpt`'s tape
+/// residency budget — and verify the two analyses agree **bit for bit**:
+/// same criticality maps, same gradient bits, same primal output. The
+/// bounded report is returned for downstream use; divergence is an
+/// [`EngineError::InvalidConfig`] naming the first mismatching variable.
+pub fn scrutinize_bounded_vs_unbounded(
+    app: &dyn ScrutinyApp,
+    opts: &ScrutinyOptions,
+    ckpt: TapeCheckpointConfig,
+) -> Result<(AnalysisReport, AnalysisReport), EngineError> {
+    let unbounded = scrutinize_with(app, opts)
+        .map_err(|e| EngineError::InvalidConfig(format!("unbounded analysis failed: {e}")))?;
+    let bounded = scrutinize_with(
+        app,
+        &ScrutinyOptions {
+            tape_checkpoints: Some(ckpt),
+            ..opts.clone()
+        },
+    )
+    .map_err(|e| EngineError::InvalidConfig(format!("bounded analysis failed: {e}")))?;
+    if let Some(name) = first_divergence(&unbounded, &bounded) {
+        return Err(EngineError::InvalidConfig(format!(
+            "bounded analysis diverged from unbounded on {name}"
+        )));
+    }
+    Ok((unbounded, bounded))
+}
+
+/// First variable (or pseudo-field) on which two analyses disagree at
+/// the bit level, if any.
+fn first_divergence(a: &AnalysisReport, b: &AnalysisReport) -> Option<String> {
+    if a.output_value.to_bits() != b.output_value.to_bits() {
+        return Some("output_value".into());
+    }
+    for (va, vb) in a.vars.iter().zip(&b.vars) {
+        if va.value_map != vb.value_map || va.structural_map != vb.structural_map {
+            return Some(va.spec.name.clone());
+        }
+        for (ga, gb) in va.grad_mag.iter().zip(&vb.grad_mag) {
+            if ga.to_bits() != gb.to_bits() {
+                return Some(format!("{}.grad_mag", va.spec.name));
+            }
+        }
+    }
+    None
+}
+
+/// A burn-in whose analysis ran under **forced tape eviction**: the
+/// residency budget is `ncheckpoints` segments of `segment_len` nodes —
+/// callers pick values that make the full recording many times the
+/// budget — so the sweeps must re-record evicted segments through the
+/// replay closure. The bounded maps are verified bit-identical to the
+/// unbounded analysis first, then drive the ordinary multi-epoch
+/// engine burn-in with restart verification.
+pub fn burn_in_bounded(
+    app: &dyn ScrutinyApp,
+    engine: &EngineHandle,
+    epochs: usize,
+    policy: Policy,
+    segment_len: usize,
+    ncheckpoints: usize,
+) -> Result<BoundedBurnInReport, EngineError> {
+    let opts = ScrutinyOptions {
+        segment_len,
+        ..ScrutinyOptions::default()
+    };
+    let ckpt = TapeCheckpointConfig::with_ncheckpoints(ncheckpoints);
+    let (unbounded, bounded) = scrutinize_bounded_vs_unbounded(app, &opts, ckpt)?;
+    let burn_in = burn_in_observed(app, &bounded, engine, epochs, policy, &Recorder::disabled())?;
+    Ok(BoundedBurnInReport {
+        burn_in,
+        unbounded_tape_bytes: unbounded.tape_stats.bytes,
+        budget_bytes: ckpt.budget_bytes(segment_len, bounded.tape_stats.segments),
+        peak_resident_bytes: bounded.tape_stats.peak_resident_bytes,
+        replayed_segments: bounded.tape_stats.replayed_segments,
+        // scrutinize_bounded_vs_unbounded already errored otherwise.
+        bit_identical: true,
     })
 }
 

@@ -2,9 +2,11 @@
 //! every AD-analyzable NPB benchmark at reduced scale.
 
 use scrutiny_core::{
-    checkpoint_restart_cycle, scrutinize, FillPolicy, Policy, RestartConfig, ScrutinyApp,
+    checkpoint_restart_cycle, scrutinize, EngineConfig, EngineHandle, FillPolicy, MemBackend,
+    Policy, RestartConfig, ScrutinyApp,
 };
-use scrutiny_npb::{Bt, Cg, Ep, Ft, Lu, Mg, Sp};
+use scrutiny_npb::{burn_in_bounded, Bt, Cg, Ep, Ft, Lu, Mg, Sp};
+use std::sync::Arc;
 
 fn minis() -> Vec<Box<dyn ScrutinyApp>> {
     vec![
@@ -62,6 +64,38 @@ fn pruned_is_never_larger_in_payload() {
             analysis.app.name
         );
     }
+}
+
+#[test]
+fn forced_eviction_burn_in_is_bit_identical_to_unbounded() {
+    // The ISSUE's acceptance bar: a burn-in whose analysis tape budget is
+    // less than a tenth of the unbounded recording — so the sweeps MUST
+    // evict and replay — still produces a bit-identical analysis and a
+    // verifying multi-epoch restart. CG mini records ~10^5 nodes; two
+    // resident segments of 256 nodes is a ~16 KiB budget against a
+    // multi-megabyte recording.
+    let app = Cg::mini();
+    let engine = EngineHandle::open(Arc::new(MemBackend::new()), EngineConfig::default()).unwrap();
+    let report = burn_in_bounded(&app, &engine, 3, Policy::PrunedValue, 256, 2).unwrap();
+    assert!(report.bit_identical);
+    assert!(
+        report.budget_bytes * 10 < report.unbounded_tape_bytes,
+        "budget ({}) must be under a tenth of the recording ({})",
+        report.budget_bytes,
+        report.unbounded_tape_bytes
+    );
+    assert!(
+        report.peak_resident_bytes <= report.budget_bytes,
+        "peak residency ({}) exceeded the budget ({})",
+        report.peak_resident_bytes,
+        report.budget_bytes
+    );
+    assert!(report.replayed_segments > 0, "eviction must force replays");
+    assert!(
+        report.burn_in.verified,
+        "restart from bounded-analysis maps failed (rel err {})",
+        report.burn_in.rel_err
+    );
 }
 
 #[test]
